@@ -1,0 +1,293 @@
+// Benchmarks regenerating every figure and table of the paper's evaluation,
+// plus the ablations of DESIGN.md §5 and microbenches of the hot kernels.
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment bench reports the reproduced headline numbers as custom
+// metrics (schedule length, simulation effort, temperatures), so a bench run
+// doubles as a results table. Shapes, not absolute values, are the
+// comparison criterion against the paper — see EXPERIMENTS.md.
+package thermalsched_test
+
+import (
+	"testing"
+
+	thermalsched "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func mustEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.AlphaEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkFigure1 regenerates the motivational example: two 45 W sessions
+// with a ~55 K temperature gap (paper: 125.5 °C vs 67.5 °C).
+func BenchmarkFigure1(b *testing.B) {
+	var last *experiments.Figure1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.TS1MaxT, "TS1_°C")
+	b.ReportMetric(last.TS2MaxT, "TS2_°C")
+	b.ReportMetric(last.Gap, "gap_K")
+}
+
+// BenchmarkFigure5 regenerates the length/effort-vs-STCL curves for
+// TL ∈ {145, 155, 165}.
+func BenchmarkFigure5(b *testing.B) {
+	env := mustEnv(b)
+	var last *experiments.Figure5Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure5(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	s145 := last.Series[0]
+	b.ReportMetric(s145.Length[0], "len@TL145,STCL20_s")
+	b.ReportMetric(s145.Length[len(s145.Length)-1], "len@TL145,STCL100_s")
+	b.ReportMetric(s145.Effort[len(s145.Effort)-1], "effort@TL145,STCL100_s")
+}
+
+// BenchmarkTable1 regenerates the full 9×9 TL × STCL grid of Table 1.
+func BenchmarkTable1(b *testing.B) {
+	env := mustEnv(b)
+	var last *experiments.Table1Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	lo := last.Row(145, 20)
+	hi := last.Row(185, 100)
+	b.ReportMetric(lo.Length, "len@TL145,STCL20_s")
+	b.ReportMetric(hi.Length, "len@TL185,STCL100_s")
+	b.ReportMetric(hi.MaxTemp, "maxT@TL185,STCL100_°C")
+	claims := experiments.CheckClaims(last)
+	pass := 0.0
+	if claims.AllPass() {
+		pass = 1
+	}
+	b.ReportMetric(pass, "claims_pass")
+}
+
+// BenchmarkAblationWeights sweeps the weight growth factor (A1).
+func BenchmarkAblationWeights(b *testing.B) {
+	env := mustEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunWeights(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOrdering sweeps the candidate scan order (A2).
+func BenchmarkAblationOrdering(b *testing.B) {
+	env := mustEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunOrdering(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFidelity measures the session-model-vs-oracle comparison (A3).
+func BenchmarkFidelity(b *testing.B) {
+	env := mustEnv(b)
+	var tau float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFidelity(env, 60, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tau = res.KendallTau
+	}
+	b.ReportMetric(tau, "kendall_tau")
+}
+
+// BenchmarkBaselineComparison runs the thermal-aware vs power-constrained
+// comparison (A4).
+func BenchmarkBaselineComparison(b *testing.B) {
+	env := mustEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBaseline(env, 165); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Scaling benches (A5): full generator runs on random SoCs of growing size.
+func benchScaling(b *testing.B, cores int) {
+	spec, err := experiments.ScalingSpec(cores, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := experiments.NewEnv(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Generate(core.Config{TL: 140, STCL: 60, AutoRaiseTL: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaling15(b *testing.B)  { benchScaling(b, 15) }
+func BenchmarkScaling40(b *testing.B)  { benchScaling(b, 40) }
+func BenchmarkScaling80(b *testing.B)  { benchScaling(b, 80) }
+func BenchmarkScaling160(b *testing.B) { benchScaling(b, 160) }
+
+// --- microbenches of the hot kernels ----------------------------------------
+
+// BenchmarkSteadyState measures one full-model steady-state solve (the
+// oracle call Algorithm 1 tries to minimise).
+func BenchmarkSteadyState(b *testing.B) {
+	sys, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	active := []int{0, 3, 5, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SimulateSession(active); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelBuild measures RC-network assembly plus factorization.
+func BenchmarkModelBuild(b *testing.B) {
+	fp := thermalsched.Alpha21364Floorplan()
+	cfg := thermalsched.DefaultPackage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := thermalsched.NewThermalModel(fp, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSTC measures one session-thermal-characteristic evaluation — the
+// cheap model query that replaces simulations during packing.
+func BenchmarkSTC(b *testing.B) {
+	sys, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	session := []int{0, 3, 5, 8, 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.STC(session); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerator measures one end-to-end Algorithm 1 run at a mid
+// operating point.
+func BenchmarkGenerator(b *testing.B) {
+	sys, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := thermalsched.ScheduleConfig{TL: 165, STCL: 60}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.GenerateSchedule(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransient measures a 1 s Crank–Nicolson transient of one session.
+func BenchmarkTransient(b *testing.B) {
+	sys, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := thermalsched.TransientOptions{Duration: 1, Step: 0.005}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SimulateSessionTransient([]int{0, 3}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridCheck runs the block-vs-grid validation sweep (A8).
+func BenchmarkGridCheck(b *testing.B) {
+	env := mustEnv(b)
+	var mean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunGridCheck(env, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = res.MeanAbsRatioErr
+	}
+	b.ReportMetric(mean, "mean_ratio_err")
+}
+
+// BenchmarkOracleComparison runs the steady vs transient oracle study (A6).
+func BenchmarkOracleComparison(b *testing.B) {
+	env := mustEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunOracleComparison(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalityGap runs the exact-DP optimality-gap study (A7).
+func BenchmarkOptimalityGap(b *testing.B) {
+	env := mustEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunOptimalityGap(env, []float64{165}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridSteadyState measures one 32×32 grid CG solve.
+func BenchmarkGridSteadyState(b *testing.B) {
+	fp := thermalsched.Alpha21364Floorplan()
+	gm, err := thermalsched.NewGridThermalModel(fp, thermalsched.DefaultPackage(), 32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := thermalsched.AlphaWorkload()
+	pm := make([]float64, fp.NumBlocks())
+	for i := range pm {
+		pm[i] = spec.Test(i).Power / 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gm.SteadyState(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

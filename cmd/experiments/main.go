@@ -1,0 +1,153 @@
+// Command experiments regenerates the figures and tables of the DATE'05
+// paper plus the ablations catalogued in DESIGN.md.
+//
+// Usage:
+//
+//	experiments                 # everything
+//	experiments -run fig1       # one artifact: fig1, fig5, table1, claims,
+//	                            # weights, ordering, fidelity, baseline, scaling
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("run", "all",
+			"experiment: all, fig1, fig5, table1, claims, weights, ordering, fidelity, baseline, scaling, oracle, gap, gridcheck")
+	)
+	flag.Parse()
+
+	if err := run(*which); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string) error {
+	wants := func(name string) bool { return which == "all" || which == name }
+	ran := false
+
+	if wants("fig1") {
+		ran = true
+		res, err := experiments.RunFigure1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+
+	var env *experiments.Env
+	needEnv := false
+	for _, name := range []string{"fig5", "table1", "claims", "weights", "ordering", "fidelity", "baseline", "oracle", "gap", "gridcheck"} {
+		if wants(name) {
+			needEnv = true
+		}
+	}
+	if needEnv {
+		var err error
+		env, err = experiments.AlphaEnv()
+		if err != nil {
+			return err
+		}
+	}
+
+	if wants("fig5") {
+		ran = true
+		res, err := experiments.RunFigure5(env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("table1") {
+		ran = true
+		res, err := experiments.RunTable1(env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("claims") {
+		ran = true
+		grid, err := experiments.RunTable1(env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.CheckClaims(grid).Render())
+	}
+	if wants("weights") {
+		ran = true
+		res, err := experiments.RunWeights(env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("ordering") {
+		ran = true
+		res, err := experiments.RunOrdering(env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("fidelity") {
+		ran = true
+		res, err := experiments.RunFidelity(env, 80, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("baseline") {
+		ran = true
+		res, err := experiments.RunBaseline(env, 165)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("oracle") {
+		ran = true
+		res, err := experiments.RunOracleComparison(env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("gap") {
+		ran = true
+		res, err := experiments.RunOptimalityGap(env, []float64{150, 165, 185})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("gridcheck") {
+		ran = true
+		res, err := experiments.RunGridCheck(env, 32)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("scaling") {
+		ran = true
+		res, err := experiments.RunScaling([]int{15, 30, 60, 120}, 11)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration in -short mode")
+	}
+	// "all" is exercised implicitly by the individual runs; keep the test
+	// fast by running the cheap artifacts individually.
+	for _, which := range []string{"fig1", "claims", "fidelity", "baseline"} {
+		if err := run(which); err != nil {
+			t.Errorf("run(%q): %v", which, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,69 @@
+// Command floorplan inspects, validates and converts floorplans.
+//
+// Usage:
+//
+//	floorplan -builtin alpha21364            # describe a builtin
+//	floorplan -file chip.flp -adjacency      # validate + adjacency report
+//	floorplan -builtin figure1-soc -format   # re-emit as .flp text
+//	floorplan -random 24 -seed 7 -format     # generate a synthetic plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/floorplan"
+)
+
+func main() {
+	var (
+		builtin   = flag.String("builtin", "", "builtin floorplan: alpha21364 or figure1-soc")
+		file      = flag.String("file", "", "floorplan file (.flp)")
+		random    = flag.Int("random", 0, "generate a random floorplan with this many blocks")
+		seed      = flag.Int64("seed", 1, "seed for -random")
+		adjacency = flag.Bool("adjacency", false, "print the adjacency graph")
+		format    = flag.Bool("format", false, "re-emit the floorplan as .flp text")
+	)
+	flag.Parse()
+
+	if err := run(*builtin, *file, *random, *seed, *adjacency, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "floorplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(builtin, file string, random int, seed int64, adjacency, format bool) error {
+	var fp *floorplan.Floorplan
+	var err error
+	switch {
+	case builtin != "":
+		fp, err = floorplan.Builtin(builtin)
+	case file != "":
+		fp, err = cliutil.LoadFloorplan(file)
+	case random > 0:
+		fp, err = floorplan.Random(floorplan.RandomOptions{Blocks: random, Seed: seed})
+	default:
+		return fmt.Errorf("need -builtin, -file or -random (builtins: %v)", floorplan.BuiltinNames())
+	}
+	if err != nil {
+		return err
+	}
+
+	if format {
+		fmt.Print(floorplan.Format(fp))
+		return nil
+	}
+	fmt.Print(fp.Describe())
+	adj := floorplan.NewAdjacency(fp)
+	if err := adj.Validate(); err != nil {
+		return fmt.Errorf("adjacency validation: %w", err)
+	}
+	fmt.Printf("full tiling: %v\n", fp.IsFullTiling())
+	if adjacency {
+		fmt.Println()
+		fmt.Print(adj.Describe())
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func TestRunBuiltin(t *testing.T) {
+	if err := run("alpha21364", "", 0, 0, true, false); err != nil {
+		t.Fatalf("builtin describe: %v", err)
+	}
+	if err := run("figure1-soc", "", 0, 0, false, true); err != nil {
+		t.Fatalf("builtin format: %v", err)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.flp")
+	if err := os.WriteFile(path, []byte(floorplan.Format(floorplan.Figure1SoC())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, 0, 0, true, false); err != nil {
+		t.Fatalf("file describe: %v", err)
+	}
+}
+
+func TestRunRandom(t *testing.T) {
+	if err := run("", "", 12, 3, false, false); err != nil {
+		t.Fatalf("random: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 0, 0, false, false); err == nil {
+		t.Error("no source should fail")
+	}
+	if err := run("bogus", "", 0, 0, false, false); err == nil {
+		t.Error("unknown builtin should fail")
+	}
+	if err := run("", "/does/not/exist.flp", 0, 0, false, false); err == nil {
+		t.Error("missing file should fail")
+	}
+}

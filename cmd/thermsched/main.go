@@ -1,0 +1,137 @@
+// Command thermsched generates thermal-safe test schedules with the DATE'05
+// algorithm.
+//
+// Usage:
+//
+//	thermsched -workload alpha21364 -tl 165 -stcl 60
+//	thermsched -flp chip.flp -spec tests.txt -tl 150 -stcl 40 -v
+//
+// The tool prints the schedule, its length, the simulation effort spent
+// finding it and the hottest simulated session temperature. With -v it also
+// prints per-session STC scores and the per-core solo temperatures (BCMT).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/thermal"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "builtin workload: alpha21364 or figure1")
+		flpPath  = flag.String("flp", "", "floorplan file (HotSpot .flp format)")
+		specPath = flag.String("spec", "", "test spec file (name functional test seconds)")
+		tl       = flag.Float64("tl", 165, "maximum allowable temperature TL (°C)")
+		stcl     = flag.Float64("stcl", 60, "session thermal characteristic limit STCL")
+		growth   = flag.Float64("growth", 1.1, "weight growth factor on violation")
+		orderStr = flag.String("order", "tc-desc", "candidate order: tc-desc, density-desc, power-desc, area-asc, input")
+		autoTL   = flag.Bool("auto-raise-tl", false, "raise TL instead of failing when a solo test violates it")
+		verbose  = flag.Bool("v", false, "print BCMT and per-session detail")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+		savePath = flag.String("save", "", "write the schedule to this file in the text schedule format")
+	)
+	flag.Parse()
+
+	if err := run(*workload, *flpPath, *specPath, *tl, *stcl, *growth, *orderStr, *autoTL, *verbose, *jsonOut, *savePath); err != nil {
+		fmt.Fprintln(os.Stderr, "thermsched:", err)
+		os.Exit(1)
+	}
+}
+
+func parseOrder(s string) (core.OrderPolicy, error) {
+	for _, p := range core.OrderPolicies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown order %q", s)
+}
+
+// summary is the -json output shape.
+type summary struct {
+	Workload   string     `json:"workload"`
+	TL         float64    `json:"tl_celsius"`
+	STCL       float64    `json:"stcl"`
+	Length     float64    `json:"length_seconds"`
+	Effort     float64    `json:"effort_seconds"`
+	MaxTemp    float64    `json:"max_temp_celsius"`
+	Violations int        `json:"violations"`
+	Sessions   [][]string `json:"sessions"`
+}
+
+func run(workload, flpPath, specPath string, tl, stcl, growth float64,
+	orderStr string, autoTL, verbose, jsonOut bool, savePath string) error {
+	spec, err := cliutil.LoadWorkload(workload, flpPath, specPath)
+	if err != nil {
+		return err
+	}
+	order, err := parseOrder(orderStr)
+	if err != nil {
+		return err
+	}
+	model, err := thermal.NewModel(spec.Floorplan(), thermal.DefaultPackageConfig())
+	if err != nil {
+		return err
+	}
+	sm, err := core.NewSessionModel(model, spec.Profile(), 0)
+	if err != nil {
+		return err
+	}
+	res, err := core.Generate(spec, sm, core.NewSimOracle(model, spec.Profile()), core.Config{
+		TL:           tl,
+		STCL:         stcl,
+		WeightGrowth: growth,
+		Order:        order,
+		AutoRaiseTL:  autoTL,
+	})
+	if err != nil {
+		return err
+	}
+
+	if savePath != "" {
+		if err := os.WriteFile(savePath, []byte(schedule.Format(res.Schedule, spec)), 0o644); err != nil {
+			return fmt.Errorf("writing schedule: %w", err)
+		}
+	}
+	if jsonOut {
+		sum := summary{
+			Workload:   spec.Name(),
+			TL:         res.EffectiveTL,
+			STCL:       stcl,
+			Length:     res.Length,
+			Effort:     res.Effort,
+			MaxTemp:    res.MaxTemp,
+			Violations: res.Violations,
+		}
+		for _, sess := range res.Schedule.Sessions() {
+			sum.Sessions = append(sum.Sessions, sess.Names(spec))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
+	}
+
+	fmt.Printf("workload %s: %d cores, sequential length %.0f s\n",
+		spec.Name(), spec.NumCores(), spec.TotalTestTime())
+	fmt.Println(res.Schedule.Describe(spec))
+	fmt.Printf("schedule length:    %.0f s\n", res.Length)
+	fmt.Printf("simulation effort:  %.0f s (%d attempts, %d violations)\n",
+		res.Effort, res.Attempts, res.Violations)
+	fmt.Printf("max temperature:    %.2f °C (TL %.1f °C)\n", res.MaxTemp, res.EffectiveTL)
+	if verbose {
+		fmt.Println()
+		fmt.Println(res.Describe(spec))
+		fmt.Println("per-core solo max temperatures (BCMT):")
+		for i, b := range res.BCMT {
+			fmt.Printf("  %-12s %7.2f °C\n", spec.Test(i).Name, b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/testspec"
+)
+
+func TestParseOrder(t *testing.T) {
+	for _, p := range core.OrderPolicies() {
+		got, err := parseOrder(p.String())
+		if err != nil || got != p {
+			t.Errorf("parseOrder(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := parseOrder("nope"); err == nil {
+		t.Error("unknown order should fail")
+	}
+}
+
+func TestRunBuiltinWorkload(t *testing.T) {
+	if err := run("alpha21364", "", "", 165, 60, 1.1, "tc-desc", false, true, false, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFigure1Workload(t *testing.T) {
+	if err := run("figure1", "", "", 130, 40, 1.1, "input", false, false, true, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCustomFiles(t *testing.T) {
+	dir := t.TempDir()
+	flp := filepath.Join(dir, "c.flp")
+	spec := filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(flp, []byte(floorplan.Format(floorplan.Figure1SoC())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(spec, []byte(testspec.Format(testspec.Figure1())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", flp, spec, 140, 50, 1.1, "tc-desc", false, false, false, filepath.Join(dir, "out.sched")); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	// Unknown workload.
+	if err := run("bogus", "", "", 165, 60, 1.1, "tc-desc", false, false, false, ""); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	// Bad order.
+	if err := run("alpha21364", "", "", 165, 60, 1.1, "zigzag", false, false, false, ""); err == nil {
+		t.Error("bad order should fail")
+	}
+	// TL below every BCMT without auto-raise.
+	if err := run("alpha21364", "", "", 60, 60, 1.1, "tc-desc", false, false, false, ""); err == nil {
+		t.Error("infeasible TL should fail")
+	}
+	// Same TL with auto-raise succeeds.
+	if err := run("alpha21364", "", "", 60, 60, 1.1, "tc-desc", true, false, false, ""); err != nil {
+		t.Errorf("auto-raise run failed: %v", err)
+	}
+}

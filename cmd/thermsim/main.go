@@ -1,0 +1,110 @@
+// Command thermsim runs the compact RC thermal simulator on one test
+// session: steady-state by default, or a transient trace with -transient.
+//
+// Usage:
+//
+//	thermsim -workload alpha21364 -active IntExec,IntReg
+//	thermsim -workload figure1 -active C2,C3,C4 -transient -duration 5
+//	thermsim -flp chip.flp -spec tests.txt -active B00,B01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/thermal"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "builtin workload: alpha21364 or figure1")
+		flpPath   = flag.String("flp", "", "floorplan file (HotSpot .flp format)")
+		specPath  = flag.String("spec", "", "test spec file (name functional test seconds)")
+		activeStr = flag.String("active", "", "comma-separated core names under test (empty = all)")
+		transient = flag.Bool("transient", false, "run a transient instead of steady state")
+		duration  = flag.Float64("duration", 5, "transient duration (s)")
+		step      = flag.Float64("step", 0, "transient step (s), 0 = auto")
+		grid      = flag.Int("grid", 0, "also solve an N×N grid model and print its heatmap")
+	)
+	flag.Parse()
+
+	if err := run(*workload, *flpPath, *specPath, *activeStr, *transient, *duration, *step, *grid); err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, flpPath, specPath, activeStr string, transient bool, duration, step float64, grid int) error {
+	spec, err := cliutil.LoadWorkload(workload, flpPath, specPath)
+	if err != nil {
+		return err
+	}
+	fp := spec.Floorplan()
+	var active []int
+	if activeStr == "" {
+		for i := 0; i < fp.NumBlocks(); i++ {
+			active = append(active, i)
+		}
+	} else {
+		for _, name := range strings.Split(activeStr, ",") {
+			i, err := fp.IndexOf(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			active = append(active, i)
+		}
+	}
+	model, err := thermal.NewModel(fp, thermal.DefaultPackageConfig())
+	if err != nil {
+		return err
+	}
+	pm, err := spec.Profile().TestPowerMap(active)
+	if err != nil {
+		return err
+	}
+
+	if !transient {
+		res, err := model.SteadyState(pm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("steady state, %d active core(s), %.1f W total\n", len(active), res.TotalPower())
+		fmt.Print(res.Describe())
+		if grid > 0 {
+			gm, err := thermal.NewGridModel(fp, thermal.DefaultPackageConfig(), grid, grid)
+			if err != nil {
+				return err
+			}
+			gres, err := gm.SteadyState(pm)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\ngrid model (%d×%d): max %.2f °C (block model: %.2f °C)\n",
+				grid, grid, gres.MaxTemp(), res.MaxTemp())
+			fmt.Print(gres.Heatmap())
+		}
+		return nil
+	}
+	if grid > 0 {
+		return fmt.Errorf("-grid is only available for steady-state runs")
+	}
+
+	tr, err := model.Transient(pm, thermal.TransientOptions{
+		Duration:    duration,
+		Step:        step,
+		SampleEvery: duration / 20,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transient, %d active core(s), %.1f s\n", len(active), duration)
+	fmt.Printf("%10s %12s %12s\n", "t(s)", "maxT(°C)", "sink(°C)")
+	for _, s := range tr.Samples {
+		fmt.Printf("%10.3f %12.3f %12.3f\n", s.Time, s.MaxTemp, s.SinkTemp)
+	}
+	fmt.Printf("final max temperature: %.2f °C\n", tr.FinalMaxTemp())
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunSteadyState(t *testing.T) {
+	if err := run("alpha21364", "", "", "IntExec,IntReg", false, 0, 0, 16); err != nil {
+		t.Fatalf("steady run: %v", err)
+	}
+}
+
+func TestRunAllCores(t *testing.T) {
+	if err := run("figure1", "", "", "", false, 0, 0, 0); err != nil {
+		t.Fatalf("all-cores run: %v", err)
+	}
+}
+
+func TestRunGridRejectedForTransient(t *testing.T) {
+	if err := run("figure1", "", "", "C2", true, 0.5, 0.002, 8); err == nil {
+		t.Error("grid with transient should fail")
+	}
+}
+
+func TestRunTransient(t *testing.T) {
+	if err := run("figure1", "", "", "C2,C3,C4", true, 0.5, 0.002, 0); err != nil {
+		t.Fatalf("transient run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "", "", "", false, 0, 0, 0); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	if err := run("alpha21364", "", "", "NoSuchCore", false, 0, 0, 0); err == nil {
+		t.Error("unknown core should fail")
+	}
+	if err := run("alpha21364", "", "", "IntExec", true, -1, 0, 0); err == nil {
+		t.Error("negative duration should fail")
+	}
+}

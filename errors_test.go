@@ -1,0 +1,102 @@
+package thermalsched_test
+
+import (
+	"strings"
+	"testing"
+
+	thermalsched "repro"
+)
+
+// These tests pin the facade's error contracts: bad configurations and bad
+// arguments must surface as errors, never as panics or silent misbehaviour.
+
+func TestNewSystemRejectsBadPackage(t *testing.T) {
+	cfg := thermalsched.DefaultPackage()
+	cfg.SpreaderSide = 1e-3 // smaller than the 16 mm die
+	if _, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), cfg); err == nil {
+		t.Error("undersized spreader should fail")
+	}
+	cfg = thermalsched.DefaultPackage()
+	cfg.KSilicon = -1
+	if _, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), cfg); err == nil {
+		t.Error("negative conductivity should fail")
+	}
+}
+
+func TestSystemArgumentErrors(t *testing.T) {
+	sys := alphaSystem(t)
+	if _, err := sys.SimulateSession([]int{999}); err == nil {
+		t.Error("out-of-range core should fail")
+	}
+	if _, err := sys.SimulateSessionTransient([]int{999}, thermalsched.TransientOptions{Duration: 1}); err == nil {
+		t.Error("out-of-range core should fail in transient")
+	}
+	if _, err := sys.SessionMaxTemp([]int{-1}); err == nil {
+		t.Error("negative core should fail")
+	}
+	if _, err := sys.STC([]int{999}); err == nil {
+		t.Error("out-of-range core should fail in STC")
+	}
+	if _, err := sys.GenerateSchedule(thermalsched.ScheduleConfig{TL: 0, STCL: 60}); err == nil {
+		t.Error("zero TL should fail")
+	}
+	if _, err := sys.GenerateScheduleTransient(thermalsched.ScheduleConfig{TL: 165, STCL: 60}, -1); err == nil {
+		t.Error("negative transient step should fail")
+	}
+	if _, err := sys.OptimalThermalSchedule(60); err == nil {
+		t.Error("infeasible TL should fail in optimal scheduler")
+	}
+	if _, err := sys.PowerConstrainedSchedule(-5); err == nil {
+		t.Error("negative budget should fail")
+	}
+	if _, err := sys.OptimalPowerSchedule(0); err == nil {
+		t.Error("zero budget should fail")
+	}
+}
+
+func TestCheckScheduleRejectsCorruptSchedule(t *testing.T) {
+	sys := alphaSystem(t)
+	// A session referencing a core outside the floorplan: the checker must
+	// surface the simulation error instead of panicking.
+	bad, err := thermalsched.NewSession(0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.CheckSchedule(thermalsched.NewSchedule(bad), 165); err == nil {
+		t.Error("corrupt schedule should fail the checker")
+	}
+}
+
+func TestParseScheduleErrorsThroughFacade(t *testing.T) {
+	sys := alphaSystem(t)
+	if _, err := thermalsched.ParseSchedule(strings.NewReader("TS1: NotACore\n"), sys.Spec()); err == nil {
+		t.Error("unknown core name should fail")
+	}
+	if _, err := thermalsched.ParseSchedule(strings.NewReader("TS1: IntExec\n"), sys.Spec()); err == nil {
+		t.Error("incomplete schedule should fail")
+	}
+}
+
+func TestParseFloorplanErrorThroughFacade(t *testing.T) {
+	if _, err := thermalsched.ParseFloorplan(strings.NewReader("garbage\n"), "x"); err == nil {
+		t.Error("malformed floorplan should fail")
+	}
+	if _, err := thermalsched.ParseTestSpec(strings.NewReader("garbage\n"), "x",
+		thermalsched.Figure1Floorplan()); err == nil {
+		t.Error("malformed test spec should fail")
+	}
+}
+
+func TestGridModelThroughFacadeErrors(t *testing.T) {
+	fp := thermalsched.Figure1Floorplan()
+	if _, err := thermalsched.NewGridThermalModel(fp, thermalsched.DefaultPackage(), 1, 1); err == nil {
+		t.Error("degenerate grid should fail")
+	}
+	gm, err := thermalsched.NewGridThermalModel(fp, thermalsched.DefaultPackage(), 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gm.SteadyState([]float64{1}); err == nil {
+		t.Error("short power vector should fail")
+	}
+}

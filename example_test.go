@@ -1,0 +1,113 @@
+package thermalsched_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	thermalsched "repro"
+)
+
+// ExampleSystem_GenerateSchedule runs the paper's Algorithm 1 on the Alpha
+// 21364 evaluation workload.
+func ExampleSystem_GenerateSchedule() {
+	sys, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.GenerateSchedule(thermalsched.ScheduleConfig{TL: 185, STCL: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sessions=%d first_try=%v safe=%v\n",
+		res.Schedule.NumSessions(), res.Effort == res.Length, res.MaxTemp < 185)
+	// Output: sessions=6 first_try=true safe=true
+}
+
+// ExampleSystem_CheckSchedule demonstrates the paper's Figure-1 point: a
+// power-legal schedule fails a thermal check.
+func ExampleSystem_CheckSchedule() {
+	sys, err := thermalsched.NewSystem(thermalsched.Figure1Workload(), thermalsched.DefaultPackage())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// TS1 = {C2,C3,C4} (indices 1..3): 45 W, legal under a 45 W power cap.
+	ts1, err := thermalsched.NewSession(1, 2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts2, err := thermalsched.NewSession(4, 5, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rest, err := thermalsched.NewSession(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := thermalsched.NewSchedule(ts1, ts2, rest)
+	violations, _, err := sys.CheckSchedule(sc, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("power-legal sessions violating 120°C: %d\n", len(violations))
+	// Output: power-legal sessions violating 120°C: 1
+}
+
+// ExampleSystem_STC shows the cheap session score the scheduler packs
+// against: the dense core pair scores far above the sparse cache pair.
+func ExampleSystem_STC() {
+	sys, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp := sys.Spec().Floorplan()
+	intReg, err := fp.IndexOf("IntReg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	intExec, err := fp.IndexOf("IntExec")
+	if err != nil {
+		log.Fatal(err)
+	}
+	l2l, err := fp.IndexOf("L2Left")
+	if err != nil {
+		log.Fatal(err)
+	}
+	l2r, err := fp.IndexOf("L2Right")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dense, err := sys.STC([]int{intReg, intExec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sparse, err := sys.STC([]int{l2l, l2r})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dense pair scores %.0fx the sparse pair\n", dense/sparse)
+	// Output: dense pair scores 5x the sparse pair
+}
+
+// ExampleParseFloorplan builds a workload from text formats end to end.
+func ExampleParseFloorplan() {
+	fp, err := thermalsched.ParseFloorplan(stringsReader(`
+A 0.004 0.004 0.000 0.000
+B 0.004 0.004 0.004 0.000
+`), "two-core")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := thermalsched.ParseTestSpec(stringsReader(`
+A 5 10 1
+B 5 10 1
+`), "two-tests", fp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d cores, %.0f s sequential\n", spec.NumCores(), spec.TotalTestTime())
+	// Output: 2 cores, 2 s sequential
+}
+
+// stringsReader is a tiny helper keeping the examples free of extra imports.
+func stringsReader(s string) *strings.Reader { return strings.NewReader(s) }

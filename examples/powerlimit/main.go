@@ -1,0 +1,87 @@
+// Powerlimit reproduces the paper's Figure 1 motivation: a chip-level
+// power constraint treats two test sessions as equally acceptable while
+// their peak temperatures differ by more than 50 °C, because power ignores
+// *where* on the die the heat is produced.
+//
+//	go run ./examples/powerlimit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	thermalsched "repro"
+)
+
+func main() {
+	sys, err := thermalsched.NewSystem(thermalsched.Figure1Workload(), thermalsched.DefaultPackage())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp := sys.Spec().Floorplan()
+
+	// The two sessions of the paper's Figure 1. Every core dissipates 15 W
+	// during test, so both sessions draw exactly 45 W — indistinguishable to
+	// a power-constrained scheduler with a 45 W budget.
+	idx := func(name string) int {
+		i, err := fp.IndexOf(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return i
+	}
+	ts1 := []int{idx("C2"), idx("C3"), idx("C4")} // small, dense cores
+	ts2 := []int{idx("C5"), idx("C6"), idx("C7")} // large, sparse cores
+
+	const budget = 45.0
+	for _, s := range []struct {
+		label string
+		cores []int
+	}{{"TS1", ts1}, {"TS2", ts2}} {
+		p := sys.Spec().Profile().SessionPower(s.cores)
+		fmt.Printf("%s draws %.0f W — %v under the %.0f W power budget\n",
+			s.label, p, p <= budget, budget)
+	}
+
+	// The thermal simulation tells a very different story.
+	t1, err := sys.SessionMaxTemp(ts1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, err := sys.SessionMaxTemp(ts2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  TS1 = {C2,C3,C4}: peak %.1f °C   (paper: 125.5 °C)\n", t1)
+	fmt.Printf("  TS2 = {C5,C6,C7}: peak %.1f °C   (paper:  67.5 °C)\n", t2)
+	fmt.Printf("  gap: %.1f K at identical session power\n\n", t1-t2)
+
+	// A power-constrained scheduler is blind to the difference: the schedule
+	// {TS1, TS2, {C1}} is perfectly legal under its 45 W budget, yet TS1
+	// busts a 120 °C limit.
+	mustSession := func(cores ...int) thermalsched.Session {
+		s, err := thermalsched.NewSession(cores...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	sc := thermalsched.NewSchedule(mustSession(ts1...), mustSession(ts2...), mustSession(idx("C1")))
+	if p := sc.MaxSessionPower(sys.Spec()); p > budget {
+		log.Fatalf("schedule exceeds the power budget: %.1f W", p)
+	}
+	violations, peak, err := sys.CheckSchedule(sc, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("power-legal schedule {TS1, TS2, C1} peaks at %.1f °C; %d session(s) violate 120 °C\n",
+		peak, len(violations))
+
+	// The thermal-aware generator respects the same limit by construction.
+	res, err := sys.GenerateSchedule(thermalsched.ScheduleConfig{TL: 120, STCL: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thermal-aware schedule    (%d sessions) peaks at %.1f °C; violations impossible by construction\n",
+		res.Schedule.NumSessions(), res.MaxTemp)
+}

@@ -1,0 +1,35 @@
+// Quickstart: generate a thermal-safe test schedule for the builtin Alpha
+// 21364 workload and print it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	thermalsched "repro"
+)
+
+func main() {
+	// A System bundles the workload (floorplan + powers + test lengths),
+	// the full RC thermal model, the paper's reduced session model and the
+	// simulation oracle.
+	sys, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// TL is the temperature the die must never reach during test; STCL is
+	// the knob trading schedule length against simulation effort.
+	res, err := sys.GenerateSchedule(thermalsched.ScheduleConfig{TL: 165, STCL: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Schedule.Describe(sys.Spec()))
+	fmt.Printf("\nschedule length   : %.0f s (sequential would take %.0f s)\n",
+		res.Length, sys.Spec().TotalTestTime())
+	fmt.Printf("simulation effort : %.0f s of simulated session time\n", res.Effort)
+	fmt.Printf("hottest session   : %.1f °C, safely below TL = 165 °C\n", res.MaxTemp)
+}

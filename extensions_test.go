@@ -1,0 +1,107 @@
+package thermalsched_test
+
+import (
+	"testing"
+
+	thermalsched "repro"
+)
+
+func TestTransientOracleAdmitsMoreConcurrency(t *testing.T) {
+	// Extension check: with 1 s tests the transient oracle sees lower
+	// temperatures than the steady-state bound, so the generated schedule
+	// is never longer and usually shorter.
+	sys := alphaSystem(t)
+	cfg := thermalsched.ScheduleConfig{TL: 155, STCL: 80}
+	steady, err := sys.GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transient, err := sys.GenerateScheduleTransient(cfg, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if transient.Length > steady.Length {
+		t.Errorf("transient-validated schedule longer than steady: %.0f vs %.0f",
+			transient.Length, steady.Length)
+	}
+	if err := transient.Schedule.Validate(sys.Spec()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalThermalScheduleBeatsOrMatchesHeuristic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential DP in -short mode")
+	}
+	sys := alphaSystem(t)
+	const tl = 165.0
+	opt, err := sys.OptimalThermalSchedule(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Validate(sys.Spec()); err != nil {
+		t.Fatal(err)
+	}
+	// The optimum must itself be thermal-safe.
+	viol, _, err := sys.CheckSchedule(opt, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) != 0 {
+		t.Fatalf("optimal schedule has %d thermal violations", len(viol))
+	}
+	// The heuristic can't beat the optimum; and on this workload it should
+	// be within 2× (it actually matches at most operating points).
+	best := -1.0
+	for _, stcl := range []float64{40, 60, 80, 100} {
+		res, err := sys.GenerateSchedule(thermalsched.ScheduleConfig{TL: tl, STCL: stcl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best < 0 || res.Length < best {
+			best = res.Length
+		}
+	}
+	optLen := opt.Length(sys.Spec())
+	if best < optLen {
+		t.Errorf("heuristic length %.0f beats the proven optimum %.0f — optimum is wrong", best, optLen)
+	}
+	if best > 2*optLen {
+		t.Errorf("heuristic length %.0f more than 2× the optimum %.0f", best, optLen)
+	}
+	t.Logf("optimal %d sessions; best heuristic %.0f sessions", opt.NumSessions(), best)
+}
+
+func TestSimulateScheduleTransientBoundedBySteady(t *testing.T) {
+	// Physics: for an RC network the back-to-back transient (with carried
+	// state) never exceeds the worst per-session steady state — this is
+	// exactly why the paper's cold-start steady validation is sound for
+	// consecutive sessions too.
+	sys := alphaSystem(t)
+	res, err := sys.GenerateSchedule(thermalsched.ScheduleConfig{TL: 165, STCL: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sys.SimulateScheduleTransient(res.Schedule, 0, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.SessionPeaks) != res.Schedule.NumSessions() {
+		t.Fatalf("peaks = %d, sessions = %d", len(tr.SessionPeaks), res.Schedule.NumSessions())
+	}
+	if tr.Peak > tr.SteadyBound+0.1 {
+		t.Errorf("carried transient peak %.2f exceeds steady bound %.2f", tr.Peak, tr.SteadyBound)
+	}
+	// With a cool-down gap the peak cannot increase.
+	trGap, err := sys.SimulateScheduleTransient(res.Schedule, 0.5, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trGap.Peak > tr.Peak+0.1 {
+		t.Errorf("cool-down gap raised the peak: %.2f vs %.2f", trGap.Peak, tr.Peak)
+	}
+	// Negative gap is rejected.
+	if _, err := sys.SimulateScheduleTransient(res.Schedule, -1, 0); err == nil {
+		t.Error("negative gap should fail")
+	}
+}

@@ -1,0 +1,66 @@
+// Package cliutil holds the workload-loading logic shared by the command
+// line tools: resolving builtin workloads by name or reading floorplan and
+// test-spec files from disk.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/floorplan"
+	"repro/internal/testspec"
+)
+
+// BuiltinWorkloads lists the workload names LoadWorkload accepts without
+// files.
+func BuiltinWorkloads() []string { return []string{"alpha21364", "figure1"} }
+
+// LoadWorkload resolves a test-scheduling workload:
+//
+//   - workload != "": a builtin name ("alpha21364" or "figure1");
+//   - otherwise both flpPath and specPath must name files: a HotSpot ".flp"
+//     floorplan and a test spec in the `name functional test seconds`
+//     format.
+func LoadWorkload(workload, flpPath, specPath string) (*testspec.Spec, error) {
+	switch workload {
+	case "alpha21364":
+		return testspec.Alpha21364(), nil
+	case "figure1", "fig1":
+		return testspec.Figure1(), nil
+	case "":
+		// fall through to file loading
+	default:
+		return nil, fmt.Errorf("unknown builtin workload %q (have: %v)", workload, BuiltinWorkloads())
+	}
+	if flpPath == "" || specPath == "" {
+		return nil, fmt.Errorf("need either -workload <name> or both -flp <file> and -spec <file>")
+	}
+	fp, err := LoadFloorplan(flpPath)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(specPath)
+	if err != nil {
+		return nil, fmt.Errorf("opening test spec: %w", err)
+	}
+	defer f.Close()
+	spec, err := testspec.Parse(f, specPath, fp)
+	if err != nil {
+		return nil, fmt.Errorf("parsing test spec %s: %w", specPath, err)
+	}
+	return spec, nil
+}
+
+// LoadFloorplan reads a ".flp" floorplan from disk.
+func LoadFloorplan(path string) (*floorplan.Floorplan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening floorplan: %w", err)
+	}
+	defer f.Close()
+	fp, err := floorplan.Parse(f, path)
+	if err != nil {
+		return nil, fmt.Errorf("parsing floorplan %s: %w", path, err)
+	}
+	return fp, nil
+}

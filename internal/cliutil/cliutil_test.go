@@ -1,0 +1,90 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/testspec"
+)
+
+func TestLoadWorkloadBuiltins(t *testing.T) {
+	for _, name := range BuiltinWorkloads() {
+		spec, err := LoadWorkload(name, "", "")
+		if err != nil || spec == nil {
+			t.Errorf("LoadWorkload(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := LoadWorkload("fig1", "", ""); err != nil {
+		t.Errorf("alias fig1 failed: %v", err)
+	}
+	if _, err := LoadWorkload("bogus", "", ""); err == nil {
+		t.Error("unknown builtin should fail")
+	}
+	if _, err := LoadWorkload("", "", ""); err == nil {
+		t.Error("no workload and no files should fail")
+	}
+	if _, err := LoadWorkload("", "only.flp", ""); err == nil {
+		t.Error("missing spec path should fail")
+	}
+}
+
+func TestLoadWorkloadFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	flpPath := filepath.Join(dir, "chip.flp")
+	specPath := filepath.Join(dir, "tests.txt")
+
+	fp := floorplan.Figure1SoC()
+	if err := os.WriteFile(flpPath, []byte(floorplan.Format(fp)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(specPath, []byte(testspec.Format(testspec.Figure1())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := LoadWorkload("", flpPath, specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.NumCores() != 7 {
+		t.Errorf("NumCores = %d, want 7", spec.NumCores())
+	}
+
+	// Missing files and malformed content.
+	if _, err := LoadWorkload("", filepath.Join(dir, "nope.flp"), specPath); err == nil {
+		t.Error("missing floorplan should fail")
+	}
+	if _, err := LoadWorkload("", flpPath, filepath.Join(dir, "nope.txt")); err == nil {
+		t.Error("missing spec should fail")
+	}
+	badFlp := filepath.Join(dir, "bad.flp")
+	if err := os.WriteFile(badFlp, []byte("not a floorplan\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWorkload("", badFlp, specPath); err == nil {
+		t.Error("malformed floorplan should fail")
+	}
+	badSpec := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badSpec, []byte("C1 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWorkload("", flpPath, badSpec); err == nil {
+		t.Error("malformed spec should fail")
+	}
+}
+
+func TestLoadFloorplan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.flp")
+	if err := os.WriteFile(path, []byte(floorplan.Format(floorplan.Alpha21364())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := LoadFloorplan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumBlocks() != 15 {
+		t.Errorf("NumBlocks = %d, want 15", fp.NumBlocks())
+	}
+}

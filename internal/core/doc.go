@@ -1,0 +1,29 @@
+// Package core implements the primary contribution of Rosinger, Al-Hashimi
+// and Chakrabarty, "Rapid generation of thermal-safe test schedules"
+// (DATE 2005):
+//
+//   - the low-complexity *test-session thermal model* (§2): a reduced
+//     steady-state resistive view of the chip in which each active core sees
+//     only its private heat-release paths — lateral resistances toward
+//     *passive* neighbours (assumed thermally grounded at ambient), lateral
+//     paths to the die boundary, and its vertical path through the package.
+//     Resistances between two simultaneously active cores are dropped
+//     (both are hot, so little heat flows between them);
+//
+//   - the *core thermal characteristic* TC_TS(i) = P(i)·Rth(i) and the
+//     *session thermal characteristic* STC(TS) = max_i TC_TS(i)·P(i)·W(i),
+//     the scalar that predicts, without simulation, how thermally stressed a
+//     candidate session is;
+//
+//   - the schedule-generation flow of Algorithm 1 (§3): verify every core's
+//     solo test is safe (BCMT < TL), then greedily pack sessions up to the
+//     user's STC limit (STCL), validate each candidate session with one full
+//     thermal simulation, and on violation discard the session and inflate
+//     the weights W of the offending cores so they land in emptier sessions
+//     on retry.
+//
+// STCL is the knob trading schedule length against simulation effort: a
+// relaxed (large) STCL packs aggressively and burns simulations on rejected
+// sessions; a tight (small) STCL produces longer schedules that validate on
+// the first attempt.
+package core

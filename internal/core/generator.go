@@ -1,0 +1,363 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/schedule"
+	"repro/internal/testspec"
+)
+
+// Config parameterises the thermal-safe schedule generator (Algorithm 1).
+type Config struct {
+	// TL is the maximum allowable temperature (°C). Required.
+	TL float64
+	// STCL is the session thermal characteristic limit; larger values pack
+	// sessions more aggressively. Required (> 0).
+	STCL float64
+	// WeightGrowth multiplies a core's weight after it violates TL in a
+	// simulated session; the paper uses 1.1. 0 → 1.1.
+	WeightGrowth float64
+	// Order is the candidate scan order; default OrderByTCDesc.
+	Order OrderPolicy
+	// STCScale divides the raw STC; 0 → DefaultSTCScale.
+	STCScale float64
+	// AutoRaiseTL implements the "or increase TL" arm of Algorithm 1 line 5:
+	// when a core's solo test already violates TL, raise the effective TL
+	// just above the worst BCMT instead of failing. Off by default — the
+	// default mirrors the "fix the core's test infrastructure" arm by
+	// reporting which cores are infeasible.
+	AutoRaiseTL bool
+	// MaxAttempts bounds the number of candidate-session simulations as a
+	// safety valve; 0 → 100000.
+	MaxAttempts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WeightGrowth == 0 {
+		c.WeightGrowth = 1.1
+	}
+	if c.STCScale == 0 {
+		c.STCScale = DefaultSTCScale
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 100000
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if !(c.TL > 0) {
+		return fmt.Errorf("%w: TL = %g must be > 0", ErrCore, c.TL)
+	}
+	if !(c.STCL > 0) {
+		return fmt.Errorf("%w: STCL = %g must be > 0", ErrCore, c.STCL)
+	}
+	if c.WeightGrowth <= 1 {
+		return fmt.Errorf("%w: WeightGrowth = %g must be > 1", ErrCore, c.WeightGrowth)
+	}
+	return nil
+}
+
+// BCMTViolationError reports cores whose solo test already exceeds TL
+// (Algorithm 1, lines 1–7): the flow requires fixing the core's test
+// infrastructure or raising TL (Config.AutoRaiseTL).
+type BCMTViolationError struct {
+	TL    float64
+	Cores []int
+	Names []string
+	Temps []float64
+}
+
+// Error implements error.
+func (e *BCMTViolationError) Error() string {
+	parts := make([]string, len(e.Cores))
+	for i := range e.Cores {
+		parts[i] = fmt.Sprintf("%s(%.1f°C)", e.Names[i], e.Temps[i])
+	}
+	return fmt.Sprintf("core: %d core(s) violate TL=%.1f°C when tested alone: %s; "+
+		"fix the core-level test or enable AutoRaiseTL", len(e.Cores), e.TL, strings.Join(parts, ", "))
+}
+
+// SessionRecord captures one committed session for reporting.
+type SessionRecord struct {
+	Session  schedule.Session
+	STC      float64 // model STC at commit time (weighted)
+	MaxTemp  float64 // simulated max temperature across its active cores, °C
+	Attempts int     // simulations spent before this session validated
+}
+
+// Result is the outcome of one generator run.
+type Result struct {
+	Schedule schedule.Schedule
+	Records  []SessionRecord
+
+	// Length is the schedule length in seconds — Table 1's "test schedule
+	// length" column.
+	Length float64
+	// Effort is the simulation effort in seconds of simulated test-session
+	// time across *all* validation calls, including discarded sessions —
+	// Table 1's "simulation effort" column. Phase-1 solo simulations are not
+	// counted, matching the paper's effort == length on first-attempt rows.
+	Effort float64
+	// MaxTemp is the hottest simulated core temperature over the committed
+	// sessions — Table 1's "max. temperature" column.
+	MaxTemp float64
+
+	// Attempts counts validation simulations; Violations counts discarded
+	// sessions (Attempts = Violations + committed sessions).
+	Attempts   int
+	Violations int
+
+	// BCMT holds each core's solo max temperature (Algorithm 1 line 3).
+	BCMT []float64
+	// EffectiveTL is TL after any AutoRaiseTL adjustment.
+	EffectiveTL float64
+	// FinalWeights is the weight vector at termination.
+	FinalWeights []float64
+	// ForcedSingletons counts sessions that were forced to a single core
+	// because no core fit under STCL (a liveness guard the paper's
+	// pseudocode leaves implicit; see Generator docs).
+	ForcedSingletons int
+}
+
+// Generator runs Algorithm 1 against a test spec, a session model (the cheap
+// guide) and an oracle (the expensive validator).
+//
+// Two deviations from the paper's pseudocode, both liveness guards:
+//
+//  1. If no unscheduled core fits an empty session under STCL (possible once
+//     weights have grown, or with an unreachably small STCL), the core with
+//     the smallest weighted STC term is scheduled alone. Solo sessions are
+//     always TL-safe after phase 1, so progress is guaranteed.
+//  2. MaxAttempts bounds total validation simulations; exceeding it returns
+//     an error rather than looping (cannot trigger with sane configs given
+//     guard 1, because weights grow monotonically until every core lands in
+//     a singleton).
+type Generator struct {
+	spec   *testspec.Spec
+	sm     *SessionModel
+	oracle Oracle
+	cfg    Config
+}
+
+// NewGenerator validates the configuration and assembles a generator.
+func NewGenerator(spec *testspec.Spec, sm *SessionModel, oracle Oracle, cfg Config) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if sm.NumCores() != spec.NumCores() {
+		return nil, fmt.Errorf("%w: session model has %d cores, spec has %d",
+			ErrCore, sm.NumCores(), spec.NumCores())
+	}
+	if oracle == nil {
+		return nil, fmt.Errorf("%w: nil oracle", ErrCore)
+	}
+	return &Generator{spec: spec, sm: sm, oracle: oracle, cfg: cfg}, nil
+}
+
+// Run executes Algorithm 1 and returns the thermal-safe schedule.
+func (g *Generator) Run() (*Result, error) {
+	n := g.spec.NumCores()
+	res := &Result{
+		BCMT:         make([]float64, n),
+		EffectiveTL:  g.cfg.TL,
+		FinalWeights: make([]float64, n),
+	}
+
+	// Phase 1 (lines 1–7): per-core solo simulation, BCMT check.
+	var violation BCMTViolationError
+	for i := 0; i < n; i++ {
+		temps, err := g.oracle.BlockTemps([]int{i})
+		if err != nil {
+			return nil, fmt.Errorf("core: phase-1 simulation of core %d: %w", i, err)
+		}
+		res.BCMT[i] = temps[i]
+		if temps[i] >= g.cfg.TL {
+			violation.Cores = append(violation.Cores, i)
+			violation.Names = append(violation.Names, g.spec.Test(i).Name)
+			violation.Temps = append(violation.Temps, temps[i])
+		}
+	}
+	if len(violation.Cores) > 0 {
+		if !g.cfg.AutoRaiseTL {
+			violation.TL = g.cfg.TL
+			return nil, &violation
+		}
+		worst := violation.Temps[0]
+		for _, t := range violation.Temps[1:] {
+			worst = math.Max(worst, t)
+		}
+		res.EffectiveTL = worst + 1
+	}
+	tl := res.EffectiveTL
+
+	// Phase 2 (lines 8–28): session construction, validation, commit.
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	remaining := make([]bool, n)
+	left := n
+	for i := range remaining {
+		remaining[i] = true
+	}
+	order, err := candidateOrder(g.cfg.Order, g.spec, g.sm)
+	if err != nil {
+		return nil, err
+	}
+
+	sched := schedule.New()
+	sessionAttempts := 0
+	for left > 0 {
+		session, err := g.buildSession(order, remaining, weights, &res.ForcedSingletons)
+		if err != nil {
+			return nil, err
+		}
+		stc, err := g.sm.STC(session, weights)
+		if err != nil {
+			return nil, err
+		}
+
+		// Validate with the oracle (line 16). Effort accrues whether or not
+		// the session survives.
+		temps, err := g.oracle.BlockTemps(session)
+		if err != nil {
+			return nil, fmt.Errorf("core: session simulation: %w", err)
+		}
+		res.Attempts++
+		sessionAttempts++
+		sess, err := schedule.NewSession(session...)
+		if err != nil {
+			return nil, err
+		}
+		res.Effort += sess.Length(g.spec)
+		if res.Attempts > g.cfg.MaxAttempts {
+			return nil, fmt.Errorf("%w: exceeded MaxAttempts=%d validation simulations",
+				ErrCore, g.cfg.MaxAttempts)
+		}
+
+		valid := true
+		sessionMax := math.Inf(-1)
+		for _, c := range session {
+			sessionMax = math.Max(sessionMax, temps[c])
+			if temps[c] >= tl {
+				weights[c] *= g.cfg.WeightGrowth // line 20
+				valid = false
+			}
+		}
+		if !valid {
+			res.Violations++
+			continue // line 9: rebuild from scratch
+		}
+
+		sched = sched.Append(sess)
+		res.Records = append(res.Records, SessionRecord{
+			Session:  sess,
+			STC:      stc,
+			MaxTemp:  sessionMax,
+			Attempts: sessionAttempts,
+		})
+		res.MaxTemp = math.Max(res.MaxTemp, sessionMax)
+		sessionAttempts = 0
+		for _, c := range session {
+			remaining[c] = false
+		}
+		left -= len(session)
+	}
+
+	res.Schedule = sched
+	res.Length = sched.Length(g.spec)
+	copy(res.FinalWeights, weights)
+	if err := sched.Validate(g.spec); err != nil {
+		// Internal invariant: the loop schedules every remaining core
+		// exactly once. Surface violations loudly instead of returning a
+		// corrupt schedule.
+		return nil, fmt.Errorf("core: generated schedule failed validation: %w", err)
+	}
+	return res, nil
+}
+
+// buildSession implements lines 9–15: scan the unscheduled cores in candidate
+// order and greedily add every core that keeps STC(TS ∪ {Ci}) ≤ STCL.
+// When nothing fits (weights have outgrown STCL), it forces the least-hot
+// singleton to preserve liveness.
+func (g *Generator) buildSession(order []int, remaining []bool, weights []float64,
+	forced *int) ([]int, error) {
+	var session []int
+	for _, c := range order {
+		if !remaining[c] {
+			continue
+		}
+		candidate := append(append([]int(nil), session...), c)
+		stc, err := g.sm.STC(candidate, weights)
+		if err != nil {
+			return nil, err
+		}
+		if stc <= g.cfg.STCL {
+			session = candidate
+		}
+	}
+	if len(session) > 0 {
+		return session, nil
+	}
+	// Liveness guard: force the single unscheduled core with the smallest
+	// weighted solo STC.
+	best, bestSTC := -1, math.Inf(1)
+	for _, c := range order {
+		if !remaining[c] {
+			continue
+		}
+		stc, err := g.sm.STC([]int{c}, weights)
+		if err != nil {
+			return nil, err
+		}
+		if stc < bestSTC {
+			best, bestSTC = c, stc
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("%w: buildSession called with no remaining cores", ErrCore)
+	}
+	*forced++
+	return []int{best}, nil
+}
+
+// Generate is the one-call convenience wrapper: build the generator and run
+// it.
+func Generate(spec *testspec.Spec, sm *SessionModel, oracle Oracle, cfg Config) (*Result, error) {
+	g, err := NewGenerator(spec, sm, oracle, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return g.Run()
+}
+
+// Describe renders the result in the shape of a Table 1 row plus the session
+// detail.
+func (r *Result) Describe(spec *testspec.Spec) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "TL=%.0f°C: length %.0f s, simulation effort %.0f s, max temp %.2f °C (%d violations",
+		r.EffectiveTL, r.Length, r.Effort, r.MaxTemp, r.Violations)
+	if r.ForcedSingletons > 0 {
+		fmt.Fprintf(&sb, ", %d forced singletons", r.ForcedSingletons)
+	}
+	sb.WriteString(")\n")
+	for i, rec := range r.Records {
+		fmt.Fprintf(&sb, "  TS%-2d [STC %6.1f, Tmax %7.2f °C, %2d sim(s)] %s\n",
+			i+1, rec.STC, rec.MaxTemp, rec.Attempts, strings.Join(rec.Session.Names(spec), " "))
+	}
+	return sb.String()
+}
+
+var _ error = (*BCMTViolationError)(nil)
+
+// Is lets errors.Is match BCMTViolationError against ErrBCMT.
+func (e *BCMTViolationError) Is(target error) bool { return target == ErrBCMT }
+
+// ErrBCMT is the sentinel matched by errors.Is for BCMT (phase 1)
+// violations.
+var ErrBCMT = errors.New("core: solo test exceeds temperature limit")

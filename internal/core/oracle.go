@@ -1,0 +1,57 @@
+package core
+
+import (
+	"repro/internal/power"
+	"repro/internal/thermal"
+)
+
+// Oracle is the "accurate thermal simulation" of Algorithm 1: given the set
+// of concurrently tested cores, it returns the steady-state temperature of
+// every block (°C). The generator treats it as expensive and minimises calls
+// to it; the session model exists precisely to avoid invoking it blindly.
+//
+// Implementations must be deterministic. The production implementation is
+// SimOracle; tests substitute cheap fakes.
+type Oracle interface {
+	BlockTemps(active []int) ([]float64, error)
+}
+
+// SimOracle answers oracle queries with the full RC thermal model, injecting
+// each active core's test power and zero power into passive cores (the
+// paper's passive-cores-idle assumption).
+type SimOracle struct {
+	model   *thermal.Model
+	profile *power.Profile
+}
+
+// NewSimOracle binds a thermal model and a power profile. Both must share a
+// floorplan; this is checked at first use via the power-map shape.
+func NewSimOracle(m *thermal.Model, prof *power.Profile) *SimOracle {
+	return &SimOracle{model: m, profile: prof}
+}
+
+// BlockTemps implements Oracle.
+func (o *SimOracle) BlockTemps(active []int) ([]float64, error) {
+	pm, err := o.profile.TestPowerMap(active)
+	if err != nil {
+		return nil, err
+	}
+	res, err := o.model.SteadyState(pm)
+	if err != nil {
+		return nil, err
+	}
+	return res.BlockTemps(), nil
+}
+
+// CountingOracle wraps an Oracle and counts calls — used by tests and by the
+// experiment harness to cross-check the generator's own effort accounting.
+type CountingOracle struct {
+	Inner Oracle
+	Calls int
+}
+
+// BlockTemps implements Oracle.
+func (c *CountingOracle) BlockTemps(active []int) ([]float64, error) {
+	c.Calls++
+	return c.Inner.BlockTemps(active)
+}

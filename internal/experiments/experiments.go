@@ -1,0 +1,70 @@
+// Package experiments regenerates every figure and table of the DATE'05
+// evaluation plus the ablations listed in DESIGN.md. Each experiment returns
+// a structured result with a text renderer, so the same code backs the
+// cmd/experiments CLI, the root-level benchmarks and the integration tests.
+//
+// Absolute temperatures depend on the reconstructed package and workload
+// (see DESIGN.md §3), so the results are compared with the paper in *shape*:
+// orderings, monotone trends, crossovers and ratios.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/testspec"
+	"repro/internal/thermal"
+)
+
+// Env bundles the objects every experiment needs for one workload.
+type Env struct {
+	Spec   *testspec.Spec
+	Model  *thermal.Model
+	SM     *core.SessionModel
+	Oracle *core.SimOracle
+}
+
+// NewEnv builds the environment for a spec under the default package.
+func NewEnv(spec *testspec.Spec) (*Env, error) {
+	return NewEnvWithConfig(spec, thermal.DefaultPackageConfig())
+}
+
+// NewEnvWithConfig builds the environment with an explicit package config.
+func NewEnvWithConfig(spec *testspec.Spec, cfg thermal.PackageConfig) (*Env, error) {
+	m, err := thermal.NewModel(spec.Floorplan(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building thermal model: %w", err)
+	}
+	sm, err := core.NewSessionModel(m, spec.Profile(), 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building session model: %w", err)
+	}
+	return &Env{
+		Spec:   spec,
+		Model:  m,
+		SM:     sm,
+		Oracle: core.NewSimOracle(m, spec.Profile()),
+	}, nil
+}
+
+// AlphaEnv is the canonical evaluation environment (15-core Alpha 21364).
+func AlphaEnv() (*Env, error) { return NewEnv(testspec.Alpha21364()) }
+
+// Figure1Env is the motivational 7-core SoC environment.
+func Figure1Env() (*Env, error) { return NewEnv(testspec.Figure1()) }
+
+// Generate runs the thermal-aware generator in this environment.
+func (e *Env) Generate(cfg core.Config) (*core.Result, error) {
+	return core.Generate(e.Spec, e.SM, e.Oracle, cfg)
+}
+
+// The paper's parameter grids.
+var (
+	// Table1TLs are the temperature limits of Table 1 (°C).
+	Table1TLs = []float64{145, 150, 155, 160, 165, 170, 175, 180, 185}
+	// Figure5TLs are the three limits plotted in Figure 5 (°C).
+	Figure5TLs = []float64{145, 155, 165}
+	// STCLs is the session-thermal-characteristic-limit sweep shared by
+	// Figure 5 and Table 1.
+	STCLs = []float64{20, 30, 40, 50, 60, 70, 80, 90, 100}
+)

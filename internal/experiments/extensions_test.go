@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunOracleComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient sweeps in -short mode")
+	}
+	res, err := RunOracleComparison(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// The transient oracle sees cooler sessions, so it never lengthens
+		// the schedule.
+		if r.TransientLen > r.SteadyLength {
+			t.Errorf("TL=%.0f STCL=%.0f: transient %f longer than steady %f",
+				r.TL, r.STCL, r.TransientLen, r.SteadyLength)
+		}
+		// Safety holds under both oracles' own metric.
+		if r.SteadyMaxT >= r.TL || r.TransientMaxT >= r.TL {
+			t.Errorf("TL=%.0f STCL=%.0f: oracle-reported max over TL", r.TL, r.STCL)
+		}
+	}
+	// With short 1 s tests, at least one operating point must benefit.
+	saved := false
+	for _, r := range res.Rows {
+		if r.TransientLen < r.SteadyLength {
+			saved = true
+		}
+	}
+	if !saved {
+		t.Error("transient validation saved nothing anywhere — extension experiment is vacuous")
+	}
+	if !strings.Contains(res.Render(), "A6") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestRunOptimalityGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential DP in -short mode")
+	}
+	res, err := RunOptimalityGap(env(t), []float64{165, 185})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Gap < 1-1e-9 {
+			t.Errorf("TL=%.0f: heuristic gap %.2f < 1 — optimum beaten, DP is broken", r.TL, r.Gap)
+		}
+		if r.Gap > 3 {
+			t.Errorf("TL=%.0f: heuristic gap %.2f implausibly large", r.TL, r.Gap)
+		}
+		if r.OptimalLength < 2 {
+			// Full concurrency exceeds 185 °C by calibration, so the
+			// optimum needs at least two sessions.
+			t.Errorf("TL=%.0f: optimal length %.0f below the calibrated floor of 2", r.TL, r.OptimalLength)
+		}
+	}
+	if !strings.Contains(res.Render(), "A7") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestRunGridCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid solves in -short mode")
+	}
+	res, err := RunGridCheck(env(t), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 6 {
+		t.Fatalf("rows = %d, want >= 6", len(res.Rows))
+	}
+	// The validation criterion: the two discretisations agree on rises
+	// within ~15% on average and on the ordering of clearly separated
+	// sessions.
+	if res.MeanAbsRatioErr > 0.2 {
+		t.Errorf("mean |rise ratio - 1| = %.2f, want <= 0.2", res.MeanAbsRatioErr)
+	}
+	if !res.RankAgreement {
+		t.Error("block and grid models disagree on clearly separated session ordering")
+	}
+	// Grid dim clamp.
+	small, err := RunGridCheck(env(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.GridDim < 8 {
+		t.Errorf("GridDim = %d, want clamped to >= 8", small.GridDim)
+	}
+	if !strings.Contains(res.Render(), "A8") {
+		t.Error("Render missing title")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/schedule"
+)
+
+// Figure1Result reproduces the paper's Figure 1: two test sessions that are
+// indistinguishable to a chip-level power constraint yet differ enormously
+// in peak temperature.
+type Figure1Result struct {
+	PowerBudget float64 // W, the paper's 45 W constraint
+
+	TS1       []string // {C2,C3,C4}: small, dense cores
+	TS1Power  float64
+	TS1MaxT   float64  // paper: 125.5 °C
+	TS2       []string // {C5,C6,C7}: large, sparse cores
+	TS2Power  float64
+	TS2MaxT   float64 // paper: 67.5 °C
+	DensityC2 float64 // W/cm²
+	DensityC5 float64 // W/cm², 4× smaller than C2
+
+	// PowerOK reports that both sessions pass the power constraint — the
+	// premise of the paper's argument.
+	PowerOK bool
+	// Gap is TS1MaxT − TS2MaxT (K); the paper reports ≈ 58 K.
+	Gap float64
+}
+
+// RunFigure1 executes the motivational experiment on the Figure-1 SoC.
+func RunFigure1() (*Figure1Result, error) {
+	env, err := Figure1Env()
+	if err != nil {
+		return nil, err
+	}
+	fp := env.Spec.Floorplan()
+	idx := func(name string) (int, error) { return fp.IndexOf(name) }
+
+	var ts1, ts2 []int
+	for _, n := range []string{"C2", "C3", "C4"} {
+		i, err := idx(n)
+		if err != nil {
+			return nil, err
+		}
+		ts1 = append(ts1, i)
+	}
+	for _, n := range []string{"C5", "C6", "C7"} {
+		i, err := idx(n)
+		if err != nil {
+			return nil, err
+		}
+		ts2 = append(ts2, i)
+	}
+
+	const budget = 45 // W, as in the paper
+	prof := env.Spec.Profile()
+	res := &Figure1Result{
+		PowerBudget: budget,
+		TS1:         schedule.MustSession(ts1...).Names(env.Spec),
+		TS2:         schedule.MustSession(ts2...).Names(env.Spec),
+		TS1Power:    prof.SessionPower(ts1),
+		TS2Power:    prof.SessionPower(ts2),
+	}
+	res.PowerOK = res.TS1Power <= budget+1e-9 && res.TS2Power <= budget+1e-9
+
+	checker := baseline.ThermalChecker{BlockTemps: env.Oracle.BlockTemps}
+	sc := schedule.New(schedule.MustSession(ts1...), schedule.MustSession(ts2...))
+	if _, _, err := checker.Check(sc, math.Inf(1)); err != nil {
+		return nil, err
+	}
+	t1, err := env.Oracle.BlockTemps(ts1)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := env.Oracle.BlockTemps(ts2)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range ts1 {
+		res.TS1MaxT = math.Max(res.TS1MaxT, t1[c])
+	}
+	for _, c := range ts2 {
+		res.TS2MaxT = math.Max(res.TS2MaxT, t2[c])
+	}
+	res.Gap = res.TS1MaxT - res.TS2MaxT
+
+	c2, err := idx("C2")
+	if err != nil {
+		return nil, err
+	}
+	c5, err := idx("C5")
+	if err != nil {
+		return nil, err
+	}
+	res.DensityC2 = prof.TestDensity(c2) * 1e-4
+	res.DensityC5 = prof.TestDensity(c5) * 1e-4
+	return res, nil
+}
+
+// Render formats the result next to the paper's numbers.
+func (r *Figure1Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1 — power constraints do not prevent hot spots\n")
+	fmt.Fprintf(&sb, "power budget: %.0f W; both sessions power-legal: %v\n", r.PowerBudget, r.PowerOK)
+	fmt.Fprintf(&sb, "  TS1 = %v  P = %5.1f W  maxT = %6.2f °C   (paper: 125.5 °C)\n",
+		r.TS1, r.TS1Power, r.TS1MaxT)
+	fmt.Fprintf(&sb, "  TS2 = %v  P = %5.1f W  maxT = %6.2f °C   (paper:  67.5 °C)\n",
+		r.TS2, r.TS2Power, r.TS2MaxT)
+	fmt.Fprintf(&sb, "  gap = %.1f K (paper: 58.0 K); power density C2 = %.2f W/cm² = %.1f× C5's %.2f W/cm²\n",
+		r.Gap, r.DensityC2, r.DensityC2/r.DensityC5, r.DensityC5)
+	return sb.String()
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Table1Row is one (TL, STCL) cell of the paper's Table 1.
+type Table1Row struct {
+	TL      float64 // °C
+	STCL    float64
+	Length  float64 // s — test schedule length
+	Effort  float64 // s — simulation effort
+	MaxTemp float64 // °C — hottest committed-session temperature
+
+	Sessions   int
+	Violations int
+	Forced     int
+}
+
+// Table1Result is the full grid.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 regenerates Table 1 on the Alpha environment over the paper's
+// TL × STCL grid.
+func RunTable1(env *Env) (*Table1Result, error) {
+	return RunTable1Grid(env, Table1TLs, STCLs)
+}
+
+// RunTable1Grid regenerates Table 1 rows for arbitrary grids (used by the
+// Figure-5 subset and the benchmarks).
+func RunTable1Grid(env *Env, tls, stcls []float64) (*Table1Result, error) {
+	out := &Table1Result{}
+	for _, tl := range tls {
+		for _, stcl := range stcls {
+			res, err := env.Generate(core.Config{TL: tl, STCL: stcl})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table1 TL=%g STCL=%g: %w", tl, stcl, err)
+			}
+			out.Rows = append(out.Rows, Table1Row{
+				TL:         tl,
+				STCL:       stcl,
+				Length:     res.Length,
+				Effort:     res.Effort,
+				MaxTemp:    res.MaxTemp,
+				Sessions:   res.Schedule.NumSessions(),
+				Violations: res.Violations,
+				Forced:     res.ForcedSingletons,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Row returns the cell for (tl, stcl), or nil.
+func (t *Table1Result) Row(tl, stcl float64) *Table1Row {
+	for i := range t.Rows {
+		if t.Rows[i].TL == tl && t.Rows[i].STCL == stcl {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// RowsForTL returns the cells of one TL in ascending STCL order.
+func (t *Table1Result) RowsForTL(tl float64) []Table1Row {
+	var out []Table1Row
+	for _, r := range t.Rows {
+		if r.TL == tl {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Render formats the grid in the layout of the paper's Table 1.
+func (t *Table1Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1 — test schedule length, simulation effort and max temperature vs TL and STCL\n")
+	fmt.Fprintf(&sb, "%6s %6s %12s %12s %14s\n", "TL(°C)", "STCL", "length(s)", "effort(s)", "max temp(°C)")
+	lastTL := 0.0
+	for _, r := range t.Rows {
+		if r.TL != lastTL && lastTL != 0 {
+			sb.WriteString("\n")
+		}
+		lastTL = r.TL
+		fmt.Fprintf(&sb, "%6.0f %6.0f %12.0f %12.0f %14.2f\n", r.TL, r.STCL, r.Length, r.Effort, r.MaxTemp)
+	}
+	return sb.String()
+}
+
+// Figure5Series is one curve of Figure 5: schedule length and simulation
+// effort against STCL for one TL.
+type Figure5Series struct {
+	TL      float64
+	STCL    []float64
+	Length  []float64
+	Effort  []float64
+	MaxTemp []float64
+}
+
+// Figure5Result holds the three curves of the paper's Figure 5.
+type Figure5Result struct {
+	Series []Figure5Series
+}
+
+// RunFigure5 regenerates Figure 5 (TL ∈ {145, 155, 165} by default).
+func RunFigure5(env *Env) (*Figure5Result, error) {
+	grid, err := RunTable1Grid(env, Figure5TLs, STCLs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure5Result{}
+	for _, tl := range Figure5TLs {
+		s := Figure5Series{TL: tl}
+		for _, row := range grid.RowsForTL(tl) {
+			s.STCL = append(s.STCL, row.STCL)
+			s.Length = append(s.Length, row.Length)
+			s.Effort = append(s.Effort, row.Effort)
+			s.MaxTemp = append(s.MaxTemp, row.MaxTemp)
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// Render draws the curves as aligned columns plus an ASCII sparkline per
+// series, which is enough to eyeball the crossing shapes of Figure 5.
+func (f *Figure5Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5 — schedule length and simulation effort vs STCL\n")
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "\nTL = %.0f °C\n", s.TL)
+		fmt.Fprintf(&sb, "%8s", "STCL")
+		for _, x := range s.STCL {
+			fmt.Fprintf(&sb, "%6.0f", x)
+		}
+		fmt.Fprintf(&sb, "\n%8s", "length")
+		for _, v := range s.Length {
+			fmt.Fprintf(&sb, "%6.0f", v)
+		}
+		fmt.Fprintf(&sb, "\n%8s", "effort")
+		for _, v := range s.Effort {
+			fmt.Fprintf(&sb, "%6.0f", v)
+		}
+		sb.WriteString("\n")
+		sb.WriteString(sparkline("length", s.Length))
+		sb.WriteString(sparkline("effort", s.Effort))
+	}
+	return sb.String()
+}
+
+// sparkline renders values as a one-line bar chart.
+func sparkline(label string, vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s ", label)
+	for _, v := range vals {
+		k := 0
+		if mx > mn {
+			k = int((v - mn) / (mx - mn) * float64(len(glyphs)-1))
+		}
+		sb.WriteRune(glyphs[k])
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package floorplan
+
+import "repro/internal/geom"
+
+// mm converts millimetres to metres, keeping the builtin tables readable.
+func mm(v float64) float64 { return v * 1e-3 }
+
+func rectMM(x, y, w, h float64) geom.Rect {
+	return geom.Rect{X: mm(x), Y: mm(y), W: mm(w), H: mm(h)}
+}
+
+// Alpha21364 returns the 15-core floorplan used throughout the DATE'05
+// evaluation. The paper takes the "Compaq Alpha 21368" (21364) floorplan from
+// the HotSpot distribution; the exact coordinates are not given in the paper,
+// so this is a faithful reconstruction with the same structure: a 16 mm ×
+// 16 mm die fully tiled by a large low-density L2 region (base + two side
+// banks), the I/D caches, and dense integer/floating-point execution blocks
+// in the core area. Block count (15), strong area skew (L2 banks vs register
+// files) and realistic adjacency are what the evaluation depends on, and all
+// three are preserved.
+//
+// The returned floorplan is a fresh value on every call; callers may use it
+// concurrently with other copies.
+func Alpha21364() *Floorplan {
+	blocks := []Block{
+		{Name: "L2Base", Rect: rectMM(0, 0, 16, 6.4)},
+		{Name: "L2Left", Rect: rectMM(0, 6.4, 3.2, 9.6)},
+		{Name: "L2Right", Rect: rectMM(12.8, 6.4, 3.2, 9.6)},
+		{Name: "Icache", Rect: rectMM(3.2, 6.4, 4.8, 2.4)},
+		{Name: "Dcache", Rect: rectMM(8.0, 6.4, 4.8, 2.4)},
+		{Name: "Bpred", Rect: rectMM(3.2, 8.8, 2.4, 1.6)},
+		{Name: "ITB_DTB", Rect: rectMM(5.6, 8.8, 2.4, 1.6)},
+		{Name: "LdStQ", Rect: rectMM(8.0, 8.8, 4.8, 1.6)},
+		{Name: "IntExec", Rect: rectMM(3.2, 10.4, 3.2, 2.4)},
+		{Name: "IntReg", Rect: rectMM(6.4, 10.4, 1.6, 2.4)},
+		{Name: "IntMapQ", Rect: rectMM(8.0, 10.4, 4.8, 2.4)},
+		{Name: "FPAdd", Rect: rectMM(3.2, 12.8, 2.4, 3.2)},
+		{Name: "FPMul", Rect: rectMM(5.6, 12.8, 2.4, 3.2)},
+		{Name: "FPReg", Rect: rectMM(8.0, 12.8, 2.4, 3.2)},
+		{Name: "FPMapQ", Rect: rectMM(10.4, 12.8, 2.4, 3.2)},
+	}
+	fp, err := New("alpha21364", rectMM(0, 0, 16, 16), blocks)
+	if err != nil {
+		// The table above is a compile-time constant layout; failing to
+		// validate is a programming error, not an input error.
+		panic("floorplan: builtin Alpha21364 invalid: " + err.Error())
+	}
+	return fp
+}
+
+// Figure1SoC returns the 7-core hypothetical SoC of the paper's Figure 1:
+// every core dissipates the same test power (15 W) but areas differ sharply,
+// so power density varies by 4× between core C2 (small, dense) and core C5
+// (large, sparse). Under a 45 W chip-level power constraint the two test
+// sessions TS1={C2,C3,C4} and TS2={C5,C6,C7} are equally acceptable, yet TS1
+// runs far hotter — the paper reports 125.5 °C vs 67.5 °C.
+//
+// Layout (10 mm × 10 mm die, full tiling):
+//
+//	C1 — 5×5 mm centre block (25 mm²)
+//	C2, C3, C4 — 5/3×3 mm north blocks (5 mm² each; C2 has exactly 4× C5's
+//	             power density at equal power)
+//	C5 — 10×2 mm south strip (20 mm²; reference density)
+//	C6, C7 — 2.5×8 mm west/east columns (20 mm² each)
+func Figure1SoC() *Floorplan {
+	third := 5.0 / 3.0
+	blocks := []Block{
+		{Name: "C1", Rect: rectMM(2.5, 2, 5, 5)},
+		{Name: "C2", Rect: rectMM(2.5, 7, third, 3)},
+		{Name: "C3", Rect: rectMM(2.5+third, 7, third, 3)},
+		{Name: "C4", Rect: rectMM(2.5+2*third, 7, third, 3)},
+		{Name: "C5", Rect: rectMM(0, 0, 10, 2)},
+		{Name: "C6", Rect: rectMM(0, 2, 2.5, 8)},
+		{Name: "C7", Rect: rectMM(7.5, 2, 2.5, 8)},
+	}
+	fp, err := New("figure1-soc", rectMM(0, 0, 10, 10), blocks)
+	if err != nil {
+		panic("floorplan: builtin Figure1SoC invalid: " + err.Error())
+	}
+	return fp
+}
+
+// Builtin returns the named builtin floorplan ("alpha21364" or
+// "figure1-soc"), or ErrUnknownBlock-wrapped error when the name is not
+// recognised.
+func Builtin(name string) (*Floorplan, error) {
+	switch name {
+	case "alpha21364":
+		return Alpha21364(), nil
+	case "figure1-soc", "fig1":
+		return Figure1SoC(), nil
+	default:
+		return nil, &UnknownBuiltinError{Name: name}
+	}
+}
+
+// BuiltinNames lists the floorplans Builtin accepts.
+func BuiltinNames() []string { return []string{"alpha21364", "figure1-soc"} }
+
+// UnknownBuiltinError reports a request for a builtin floorplan that does not
+// exist.
+type UnknownBuiltinError struct{ Name string }
+
+func (e *UnknownBuiltinError) Error() string {
+	return "floorplan: unknown builtin floorplan " + e.Name
+}

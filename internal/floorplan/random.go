@@ -1,0 +1,118 @@
+package floorplan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// RandomOptions configures the random floorplan generator.
+type RandomOptions struct {
+	Blocks   int     // number of blocks to produce (>= 1)
+	DieW     float64 // die width in metres; default 16 mm
+	DieH     float64 // die height in metres; default 16 mm
+	MinDim   float64 // minimum block edge; default die/64
+	AreaSkew float64 // in [0,1): 0 = even splits, towards 1 = skewed areas; default 0.35
+	Seed     int64   // deterministic seed
+}
+
+func (o *RandomOptions) setDefaults() {
+	if o.DieW == 0 {
+		o.DieW = 16e-3
+	}
+	if o.DieH == 0 {
+		o.DieH = 16e-3
+	}
+	if o.MinDim == 0 {
+		m := o.DieW
+		if o.DieH < m {
+			m = o.DieH
+		}
+		o.MinDim = m / 64
+	}
+	if o.AreaSkew == 0 {
+		o.AreaSkew = 0.35
+	}
+}
+
+// Random generates a full-tiling floorplan by recursive slicing: the die is
+// cut by axis-aligned guillotine cuts until the requested block count is
+// reached. The same seed always yields the same floorplan, so property tests
+// and benchmarks are reproducible. Blocks are named B00, B01, ... in
+// generation order.
+func Random(opts RandomOptions) (*Floorplan, error) {
+	opts.setDefaults()
+	if opts.Blocks < 1 {
+		return nil, fmt.Errorf("floorplan: Random needs Blocks >= 1, got %d", opts.Blocks)
+	}
+	if opts.AreaSkew < 0 || opts.AreaSkew >= 1 {
+		return nil, fmt.Errorf("floorplan: AreaSkew must be in [0,1), got %g", opts.AreaSkew)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	die := geom.Rect{W: opts.DieW, H: opts.DieH}
+	parts := []geom.Rect{die}
+	for len(parts) < opts.Blocks {
+		// Split the largest divisible part; favouring the largest keeps the
+		// area distribution reasonable and guarantees progress.
+		best := -1
+		for i, r := range parts {
+			if !splittable(r, opts.MinDim) {
+				continue
+			}
+			if best < 0 || r.Area() > parts[best].Area() {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("floorplan: cannot split %d-block die into %d blocks with MinDim %g",
+				len(parts), opts.Blocks, opts.MinDim)
+		}
+		a, b := splitRect(parts[best], opts, rng)
+		parts[best] = a
+		parts = append(parts, b)
+	}
+	blocks := make([]Block, len(parts))
+	for i, r := range parts {
+		blocks[i] = Block{Name: fmt.Sprintf("B%02d", i), Rect: r}
+	}
+	return New(fmt.Sprintf("random-%d-seed%d", opts.Blocks, opts.Seed), die, blocks)
+}
+
+func splittable(r geom.Rect, minDim float64) bool {
+	return r.W >= 2*minDim || r.H >= 2*minDim
+}
+
+// splitRect cuts r once, at a position drawn around the midpoint with a
+// spread controlled by AreaSkew, clamped so both halves respect MinDim.
+func splitRect(r geom.Rect, opts RandomOptions, rng *rand.Rand) (geom.Rect, geom.Rect) {
+	vertical := r.W >= r.H // cut the long axis to keep aspect ratios sane
+	if r.W >= 2*opts.MinDim && r.H >= 2*opts.MinDim && rng.Float64() < 0.25 {
+		vertical = !vertical // occasional off-axis cut for layout variety
+	}
+	if vertical && r.W < 2*opts.MinDim {
+		vertical = false
+	}
+	if !vertical && r.H < 2*opts.MinDim {
+		vertical = true
+	}
+	frac := 0.5 + opts.AreaSkew*(rng.Float64()-0.5)
+	if vertical {
+		cut := clamp(r.W*frac, opts.MinDim, r.W-opts.MinDim)
+		return geom.Rect{X: r.X, Y: r.Y, W: cut, H: r.H},
+			geom.Rect{X: r.X + cut, Y: r.Y, W: r.W - cut, H: r.H}
+	}
+	cut := clamp(r.H*frac, opts.MinDim, r.H-opts.MinDim)
+	return geom.Rect{X: r.X, Y: r.Y, W: r.W, H: cut},
+		geom.Rect{X: r.X, Y: r.Y + cut, W: r.W, H: r.H - cut}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,387 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds a random symmetric positive definite n×n matrix as
+// Mᵀ·M + n·I, which is SPD by construction.
+func randomSPD(n int, rng *rand.Rand) *Matrix {
+	m := NewSquare(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	mt := m.Transpose()
+	spd, err := mt.MulMat(m)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		spd.Add(i, i, float64(n))
+	}
+	return spd
+}
+
+func randomVec(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 10
+	}
+	return v
+}
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0, 3) should panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != 2 {
+		t.Errorf("FromRows content wrong: %v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged rows: err = %v, want ErrShape", err)
+	}
+	if _, err := FromRows(nil); !errors.Is(err, ErrShape) {
+		t.Errorf("nil rows: err = %v, want ErrShape", err)
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(4)
+	x := []float64{1, 2, 3, 4}
+	y, err := id.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if y[i] != x[i] {
+			t.Errorf("I·x[%d] = %g, want %g", i, y[i], x[i])
+		}
+	}
+	if _, err := id.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("short vector: err = %v, want ErrShape", err)
+	}
+}
+
+func TestMulMatAgainstHand(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.MulMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("C[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.MulMat(NewMatrix(3, 2)); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch: err = %v, want ErrShape", err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMatrix(3, 5)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	tt := m.Transpose().Transpose()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if tt.At(i, j) != m.At(i, j) {
+				t.Fatalf("transpose involution broken at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskyKnownSystem(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 8] → x = [1.75, 1.5]
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ch.Solve([]float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.75) > 1e-12 || math.Abs(x[1]-1.5) > 1e-12 {
+		t.Errorf("x = %v, want [1.75 1.5]", x)
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	asym, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := NewCholesky(asym); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("asymmetric: err = %v, want ErrNotSPD", err)
+	}
+	indef, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := NewCholesky(indef); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("indefinite: err = %v, want ErrNotSPD", err)
+	}
+	rect := NewMatrix(2, 3)
+	if _, err := NewCholesky(rect); !errors.Is(err, ErrShape) {
+		t.Errorf("rectangular: err = %v, want ErrShape", err)
+	}
+}
+
+func TestCholeskyFactorReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomSPD(8, rng)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ch.L()
+	llt, err := l.MulMat(l.Transpose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := a.MaxAbs()
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if math.Abs(llt.At(i, j)-a.At(i, j)) > 1e-10*scale {
+				t.Fatalf("L·Lᵀ differs from A at (%d,%d): %g vs %g", i, j, llt.At(i, j), a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLUKnownSystem(t *testing.T) {
+	// Requires pivoting: first pivot is 0.
+	a, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.Solve([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+	if d := f.Det(); math.Abs(d-(-1)) > 1e-12 {
+		t.Errorf("Det = %g, want -1", d)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := NewLU(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}})
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-24) > 1e-12 {
+		t.Errorf("Det = %g, want 24", d)
+	}
+}
+
+func TestSolveSPDResidualProperty(t *testing.T) {
+	// Property: for random SPD systems the refined solution has a tiny
+	// relative residual.
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		a := randomSPD(n, r)
+		b := randomVec(n, r)
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		res, err := Residual(a, x, b)
+		if err != nil {
+			return false
+		}
+		return NormInf(res) <= 1e-8*(1+NormInf(b))
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUAndCholeskyAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randomSPD(n, rng)
+		b := randomVec(n, rng)
+		xc, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xl, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xc {
+			if math.Abs(xc[i]-xl[i]) > 1e-7*(1+math.Abs(xc[i])) {
+				t.Fatalf("trial %d: solvers disagree at %d: %g vs %g", trial, i, xc[i], xl[i])
+			}
+		}
+	}
+}
+
+func TestSolveManyMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSPD(6, rng)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewMatrix(6, 3)
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 6; i++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	x, err := ch.SolveMany(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		col := make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			col[i] = b.At(i, j)
+		}
+		xj, err := ch.Solve(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if math.Abs(x.At(i, j)-xj[i]) > 1e-12 {
+				t.Fatalf("SolveMany col %d row %d: %g vs %g", j, i, x.At(i, j), xj[i])
+			}
+		}
+	}
+}
+
+func TestDiagonalAndDominance(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, -1, -1}, {-1, 3, -1}, {-1, -1, 5}})
+	d := a.Diagonal()
+	if d[0] != 4 || d[1] != 3 || d[2] != 5 {
+		t.Errorf("Diagonal = %v", d)
+	}
+	if !a.IsDiagonallyDominant() {
+		t.Error("dominant matrix not recognised")
+	}
+	weak, _ := FromRows([][]float64{{1, -2}, {-2, 1}})
+	if weak.IsDiagonallyDominant() {
+		t.Error("non-dominant matrix reported dominant")
+	}
+	// All rows exactly balanced: not *strictly* dominant anywhere.
+	tie, _ := FromRows([][]float64{{1, -1}, {-1, 1}})
+	if tie.IsDiagonallyDominant() {
+		t.Error("balanced matrix should not count as dominant")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if got := NormInf([]float64{1, -5, 3}); got != 5 {
+		t.Errorf("NormInf = %g, want 5", got)
+	}
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := Dot([]float64{1, 2}, []float64{3, 4}); got != 11 {
+		t.Errorf("Dot = %g, want 11", got)
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Errorf("AXPY result = %v, want [3 5]", y)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot length mismatch should panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAXPYPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AXPY length mismatch should panic")
+		}
+	}()
+	AXPY(1, []float64{1}, []float64{1, 2})
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	if !sym.IsSymmetric(1e-12) {
+		t.Error("symmetric matrix not recognised")
+	}
+	asym, _ := FromRows([][]float64{{1, 2}, {2.1, 1}})
+	if asym.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(1e-12) {
+		t.Error("rectangular matrix reported symmetric")
+	}
+	if !NewSquare(3).IsSymmetric(1e-12) {
+		t.Error("zero matrix should count as symmetric")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := Identity(2)
+	b := a.Clone()
+	b.Set(0, 0, 42)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestResidualShapeError(t *testing.T) {
+	a := Identity(2)
+	if _, err := Residual(a, []float64{1, 2}, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("Residual mismatch: err = %v, want ErrShape", err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := Identity(2)
+	if small.String() == "" {
+		t.Error("String() empty for small matrix")
+	}
+	big := NewSquare(20)
+	if big.String() == "" {
+		t.Error("String() empty for big matrix")
+	}
+}

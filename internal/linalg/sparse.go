@@ -1,0 +1,243 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoConverge is returned when an iterative solver exhausts its iteration
+// budget without reaching the requested tolerance.
+var ErrNoConverge = errors.New("linalg: iterative solver did not converge")
+
+// coo is one coordinate-format entry during sparse assembly.
+type coo struct {
+	i, j int
+	v    float64
+}
+
+// SparseBuilder accumulates stencil entries (duplicates are summed) and
+// compiles them into a CSR matrix. This is the natural interface for
+// assembling conductance matrices: call Add for every conductance and
+// AddDiag for ground ties, then Build once.
+type SparseBuilder struct {
+	n       int
+	entries []coo
+}
+
+// NewSparseBuilder creates a builder for an n×n matrix.
+func NewSparseBuilder(n int) *SparseBuilder {
+	if n <= 0 {
+		panic(fmt.Sprintf("linalg: invalid sparse dimension %d", n))
+	}
+	return &SparseBuilder{n: n}
+}
+
+// Add accumulates v at (i, j).
+func (b *SparseBuilder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("linalg: sparse index (%d,%d) out of range for n=%d", i, j, b.n))
+	}
+	b.entries = append(b.entries, coo{i, j, v})
+}
+
+// AddConductance inserts the symmetric stencil of a conductance g between
+// nodes a and b: +g on both diagonals, −g off-diagonal.
+func (b *SparseBuilder) AddConductance(a, c int, g float64) {
+	b.Add(a, a, g)
+	b.Add(c, c, g)
+	b.Add(a, c, -g)
+	b.Add(c, a, -g)
+}
+
+// AddGround inserts a conductance from node a to the eliminated ground node
+// (diagonal only).
+func (b *SparseBuilder) AddGround(a int, g float64) { b.Add(a, a, g) }
+
+// Build compiles the accumulated entries into CSR form, summing duplicates.
+func (b *SparseBuilder) Build() *Sparse {
+	sort.Slice(b.entries, func(x, y int) bool {
+		if b.entries[x].i != b.entries[y].i {
+			return b.entries[x].i < b.entries[y].i
+		}
+		return b.entries[x].j < b.entries[y].j
+	})
+	s := &Sparse{n: b.n, rowPtr: make([]int, b.n+1)}
+	for k := 0; k < len(b.entries); {
+		e := b.entries[k]
+		v := 0.0
+		for k < len(b.entries) && b.entries[k].i == e.i && b.entries[k].j == e.j {
+			v += b.entries[k].v
+			k++
+		}
+		if v != 0 {
+			s.cols = append(s.cols, e.j)
+			s.vals = append(s.vals, v)
+			s.rowPtr[e.i+1]++
+		}
+	}
+	for i := 0; i < b.n; i++ {
+		s.rowPtr[i+1] += s.rowPtr[i]
+	}
+	return s
+}
+
+// Sparse is an immutable CSR (compressed sparse row) matrix.
+type Sparse struct {
+	n      int
+	rowPtr []int
+	cols   []int
+	vals   []float64
+}
+
+// N returns the dimension.
+func (s *Sparse) N() int { return s.n }
+
+// NNZ returns the number of stored non-zeros.
+func (s *Sparse) NNZ() int { return len(s.vals) }
+
+// MulVec computes y = S·x into a caller-provided slice (allocated when nil).
+func (s *Sparse) MulVec(x, y []float64) ([]float64, error) {
+	if len(x) != s.n {
+		return nil, fmt.Errorf("%w: sparse MulVec with len(x)=%d, n=%d", ErrShape, len(x), s.n)
+	}
+	if y == nil {
+		y = make([]float64, s.n)
+	} else if len(y) != s.n {
+		return nil, fmt.Errorf("%w: sparse MulVec with len(y)=%d, n=%d", ErrShape, len(y), s.n)
+	}
+	for i := 0; i < s.n; i++ {
+		var sum float64
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			sum += s.vals[k] * x[s.cols[k]]
+		}
+		y[i] = sum
+	}
+	return y, nil
+}
+
+// Diagonal extracts the main diagonal.
+func (s *Sparse) Diagonal() []float64 {
+	d := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			if s.cols[k] == i {
+				d[i] = s.vals[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// Dense expands the matrix to dense form (tests and small cross-checks).
+func (s *Sparse) Dense() *Matrix {
+	m := NewSquare(s.n)
+	for i := 0; i < s.n; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			m.Set(i, s.cols[k], s.vals[k])
+		}
+	}
+	return m
+}
+
+// CGOptions tunes the conjugate-gradient solver.
+type CGOptions struct {
+	Tol     float64 // relative residual target; 0 → 1e-10
+	MaxIter int     // 0 → 10·n
+}
+
+// SolveCG solves S·x = b for a symmetric positive definite sparse matrix via
+// Jacobi-preconditioned conjugate gradients. Thermal conductance matrices
+// are strictly diagonally dominant, so the diagonal preconditioner is cheap
+// and effective.
+func (s *Sparse) SolveCG(b []float64, opts CGOptions) ([]float64, error) {
+	if len(b) != s.n {
+		return nil, fmt.Errorf("%w: SolveCG with len(b)=%d, n=%d", ErrShape, len(b), s.n)
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = 10 * s.n
+	}
+	invDiag := s.Diagonal()
+	for i, d := range invDiag {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: non-positive diagonal %g at %d", ErrNotSPD, d, i)
+		}
+		invDiag[i] = 1 / d
+	}
+
+	x := make([]float64, s.n)
+	r := append([]float64(nil), b...) // r = b − S·0
+	z := make([]float64, s.n)
+	for i := range z {
+		z[i] = invDiag[i] * r[i]
+	}
+	p := append([]float64(nil), z...)
+	sp := make([]float64, s.n)
+	rz := Dot(r, z)
+	bNorm := Norm2(b)
+	if bNorm == 0 {
+		return x, nil
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		if _, err := s.MulVec(p, sp); err != nil {
+			return nil, err
+		}
+		pAp := Dot(p, sp)
+		if pAp <= 0 {
+			return nil, fmt.Errorf("%w: curvature %g at iteration %d", ErrNotSPD, pAp, iter)
+		}
+		alpha := rz / pAp
+		AXPY(alpha, p, x)
+		AXPY(-alpha, sp, r)
+		if Norm2(r) <= tol*bNorm {
+			return x, nil
+		}
+		for i := range z {
+			z[i] = invDiag[i] * r[i]
+		}
+		rzNext := Dot(r, z)
+		beta := rzNext / rz
+		rz = rzNext
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return nil, fmt.Errorf("%w: %d iterations, residual %g (target %g)",
+		ErrNoConverge, maxIter, Norm2(r)/bNorm, tol)
+}
+
+// IsSymmetricSparse reports whether the matrix is structurally and
+// numerically symmetric within tol (absolute, scaled by the largest entry).
+func (s *Sparse) IsSymmetricSparse(tol float64) bool {
+	var scale float64
+	for _, v := range s.vals {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	if scale == 0 {
+		return true
+	}
+	at := func(i, j int) float64 {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			if s.cols[k] == j {
+				return s.vals[k]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < s.n; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			j := s.cols[k]
+			if j > i && math.Abs(s.vals[k]-at(j, i)) > tol*scale {
+				return false
+			}
+		}
+	}
+	return true
+}

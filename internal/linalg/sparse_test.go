@@ -1,0 +1,220 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildLaplacian assembles the conductance matrix of a grid graph with unit
+// conductances and a ground tie at node 0 — the canonical SPD sparse test
+// problem, structurally identical to a thermal grid layer.
+func buildLaplacian(nx, ny int) *Sparse {
+	b := NewSparseBuilder(nx * ny)
+	id := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				b.AddConductance(id(x, y), id(x+1, y), 1)
+			}
+			if y+1 < ny {
+				b.AddConductance(id(x, y), id(x, y+1), 1)
+			}
+		}
+	}
+	b.AddGround(0, 0.5)
+	return b.Build()
+}
+
+func TestSparseBuilderSumsDuplicates(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 1, 2)
+	b.Add(0, 1, 3)
+	b.Add(1, 1, 4)
+	s := b.Build()
+	d := s.Dense()
+	if d.At(0, 1) != 5 || d.At(1, 1) != 4 || d.At(0, 0) != 0 {
+		t.Errorf("dense form wrong: %v", d)
+	}
+	if s.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", s.NNZ())
+	}
+	// Exactly cancelling entries are dropped.
+	b2 := NewSparseBuilder(2)
+	b2.Add(0, 0, 1)
+	b2.Add(0, 0, -1)
+	b2.Add(1, 1, 1)
+	if got := b2.Build().NNZ(); got != 1 {
+		t.Errorf("cancelled entry kept: NNZ = %d", got)
+	}
+}
+
+func TestSparseBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Add should panic")
+		}
+	}()
+	NewSparseBuilder(2).Add(0, 5, 1)
+}
+
+func TestSparseMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewSparseBuilder(12)
+	for k := 0; k < 40; k++ {
+		b.Add(rng.Intn(12), rng.Intn(12), rng.NormFloat64())
+	}
+	s := b.Build()
+	d := s.Dense()
+	x := randomVec(12, rng)
+	ys, err := s.MulVec(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yd, err := d.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ys {
+		if math.Abs(ys[i]-yd[i]) > 1e-12*(1+math.Abs(yd[i])) {
+			t.Fatalf("sparse/dense MulVec differ at %d: %g vs %g", i, ys[i], yd[i])
+		}
+	}
+	if _, err := s.MulVec(x[:3], nil); !errors.Is(err, ErrShape) {
+		t.Errorf("short x: err = %v, want ErrShape", err)
+	}
+	if _, err := s.MulVec(x, make([]float64, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("short y: err = %v, want ErrShape", err)
+	}
+}
+
+func TestCGMatchesCholeskyOnConductanceMatrix(t *testing.T) {
+	// Assemble a random conductance network (SPD by construction) both
+	// sparsely and densely; CG and Cholesky must agree.
+	rng := rand.New(rand.NewSource(21))
+	const n = 30
+	b := NewSparseBuilder(n)
+	dense := NewSquare(n)
+	for k := 0; k < 120; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		g := rng.Float64() + 0.01
+		b.AddConductance(i, j, g)
+		dense.Add(i, i, g)
+		dense.Add(j, j, g)
+		dense.Add(i, j, -g)
+		dense.Add(j, i, -g)
+	}
+	for i := 0; i < n; i++ {
+		b.AddGround(i, 0.1)
+		dense.Add(i, i, 0.1)
+	}
+	s := b.Build()
+	if !s.IsSymmetricSparse(1e-12) {
+		t.Fatal("assembled conductance matrix not symmetric")
+	}
+	rhs := randomVec(n, rng)
+	xc, err := s.SolveCG(rhs, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd, err := SolveSPD(dense, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xc {
+		if math.Abs(xc[i]-xd[i]) > 1e-6*(1+math.Abs(xd[i])) {
+			t.Fatalf("CG and Cholesky differ at %d: %g vs %g", i, xc[i], xd[i])
+		}
+	}
+}
+
+func TestCGOnGridLaplacian(t *testing.T) {
+	s := buildLaplacian(20, 20)
+	rhs := make([]float64, s.N())
+	rhs[210] = 1 // point source
+	x, err := s.SolveCG(rhs, CGOptions{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual check.
+	ax, err := s.MulVec(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res float64
+	for i := range ax {
+		res = math.Max(res, math.Abs(ax[i]-rhs[i]))
+	}
+	if res > 1e-9 {
+		t.Errorf("residual %g too large", res)
+	}
+	// Maximum principle: the solution peaks at the source.
+	peak, peakIdx := 0.0, -1
+	for i, v := range x {
+		if v > peak {
+			peak, peakIdx = v, i
+		}
+	}
+	if peakIdx != 210 {
+		t.Errorf("solution peaks at %d, want the source 210", peakIdx)
+	}
+}
+
+func TestCGErrors(t *testing.T) {
+	s := buildLaplacian(4, 4)
+	if _, err := s.SolveCG([]float64{1}, CGOptions{}); !errors.Is(err, ErrShape) {
+		t.Errorf("short rhs: err = %v, want ErrShape", err)
+	}
+	// Zero rhs short-circuits to zero solution.
+	x, err := s.SolveCG(make([]float64, s.N()), CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(x) != 0 {
+		t.Error("zero rhs should give zero solution")
+	}
+	// Iteration starvation.
+	rhs := make([]float64, s.N())
+	rhs[3] = 1
+	if _, err := s.SolveCG(rhs, CGOptions{MaxIter: 1, Tol: 1e-14}); !errors.Is(err, ErrNoConverge) {
+		t.Errorf("starved CG: err = %v, want ErrNoConverge", err)
+	}
+	// Indefinite matrix (negative diagonal) rejected.
+	bad := NewSparseBuilder(2)
+	bad.Add(0, 0, -1)
+	bad.Add(1, 1, 1)
+	if _, err := bad.Build().SolveCG([]float64{1, 1}, CGOptions{}); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("indefinite: err = %v, want ErrNotSPD", err)
+	}
+}
+
+func TestSparseDiagonal(t *testing.T) {
+	b := NewSparseBuilder(3)
+	b.Add(0, 0, 2)
+	b.Add(2, 2, 5)
+	b.Add(0, 1, 7)
+	d := b.Build().Diagonal()
+	if d[0] != 2 || d[1] != 0 || d[2] != 5 {
+		t.Errorf("Diagonal = %v", d)
+	}
+}
+
+func TestIsSymmetricSparse(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 1, 3)
+	if b.Build().IsSymmetricSparse(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	b2 := NewSparseBuilder(2)
+	b2.AddConductance(0, 1, 3)
+	if !b2.Build().IsSymmetricSparse(1e-12) {
+		t.Error("symmetric matrix not recognised")
+	}
+	if !NewSparseBuilder(2).Build().IsSymmetricSparse(1e-12) {
+		t.Error("empty matrix should count as symmetric")
+	}
+}

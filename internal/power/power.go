@@ -1,0 +1,198 @@
+// Package power models per-core power dissipation: functional (normal
+// operation) power, test-mode power, and the power maps consumed by the
+// thermal simulator.
+//
+// The DATE'05 evaluation assigns each core a test power between 1.5× and 8×
+// its functional power — scan testing toggles far more capacitance per cycle
+// than functional operation (the paper cites industrial reports of up to 30×
+// peak). Power density (W/m²) rather than raw power is what creates hot
+// spots, which is the paper's central observation.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/floorplan"
+)
+
+// Common errors.
+var (
+	ErrShape     = errors.New("power: per-core vector length mismatch")
+	ErrNegative  = errors.New("power: negative or non-finite power")
+	ErrBadFactor = errors.New("power: test power factor outside plausible range")
+)
+
+// Profile binds a floorplan to per-core functional and test powers (W).
+// Construct with NewProfile; the zero value is unusable.
+type Profile struct {
+	fp         *floorplan.Floorplan
+	functional []float64
+	test       []float64
+}
+
+// NewProfile validates and builds a power profile. functional and test must
+// have one entry per floorplan block, all finite and non-negative.
+func NewProfile(fp *floorplan.Floorplan, functional, test []float64) (*Profile, error) {
+	n := fp.NumBlocks()
+	if len(functional) != n || len(test) != n {
+		return nil, fmt.Errorf("%w: functional %d, test %d, blocks %d",
+			ErrShape, len(functional), len(test), n)
+	}
+	check := func(name string, v []float64) error {
+		for i, p := range v {
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				return fmt.Errorf("%w: %s[%d] = %g", ErrNegative, name, i, p)
+			}
+		}
+		return nil
+	}
+	if err := check("functional", functional); err != nil {
+		return nil, err
+	}
+	if err := check("test", test); err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		fp:         fp,
+		functional: append([]float64(nil), functional...),
+		test:       append([]float64(nil), test...),
+	}
+	return p, nil
+}
+
+// FromFactors builds a profile from functional powers and per-core test
+// multipliers. Factors must lie in [1, 10]; the paper's range is 1.5–8.
+func FromFactors(fp *floorplan.Floorplan, functional, factors []float64) (*Profile, error) {
+	if len(factors) != fp.NumBlocks() {
+		return nil, fmt.Errorf("%w: factors %d, blocks %d", ErrShape, len(factors), fp.NumBlocks())
+	}
+	test := make([]float64, len(factors))
+	for i, f := range factors {
+		if f < 1 || f > 10 || math.IsNaN(f) {
+			return nil, fmt.Errorf("%w: factor[%d] = %g", ErrBadFactor, i, f)
+		}
+		if i < len(functional) {
+			test[i] = functional[i] * f
+		}
+	}
+	return NewProfile(fp, functional, test)
+}
+
+// Floorplan returns the floorplan the profile is bound to.
+func (p *Profile) Floorplan() *floorplan.Floorplan { return p.fp }
+
+// Functional returns core i's functional power (W).
+func (p *Profile) Functional(i int) float64 { return p.functional[i] }
+
+// Test returns core i's test power (W).
+func (p *Profile) Test(i int) float64 { return p.test[i] }
+
+// TestFactor returns core i's test/functional power ratio; +Inf when the
+// functional power is zero.
+func (p *Profile) TestFactor(i int) float64 {
+	if p.functional[i] == 0 {
+		return math.Inf(1)
+	}
+	return p.test[i] / p.functional[i]
+}
+
+// TestDensity returns core i's test power density (W/m²).
+func (p *Profile) TestDensity(i int) float64 {
+	return p.test[i] / p.fp.Block(i).Area()
+}
+
+// FunctionalTotal returns the chip's total functional power (W).
+func (p *Profile) FunctionalTotal() float64 { return sum(p.functional) }
+
+// TestTotal returns the chip's total power with every core in test mode (W).
+func (p *Profile) TestTotal() float64 { return sum(p.test) }
+
+func sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// TestPowerMap returns the per-block power vector (W) for a test session in
+// which exactly the cores in active are testing; all other cores are idle
+// (zero power, matching the paper's thermally-grounded-passive-core
+// assumption). Unknown indices are rejected.
+func (p *Profile) TestPowerMap(active []int) ([]float64, error) {
+	out := make([]float64, p.fp.NumBlocks())
+	for _, i := range active {
+		if i < 0 || i >= len(out) {
+			return nil, fmt.Errorf("%w: active core index %d out of range [0,%d)",
+				ErrShape, i, len(out))
+		}
+		out[i] = p.test[i]
+	}
+	return out, nil
+}
+
+// SessionPower returns the summed test power (W) of the given active set —
+// the quantity a classic power-constrained scheduler budgets against.
+func (p *Profile) SessionPower(active []int) float64 {
+	var s float64
+	for _, i := range active {
+		if i >= 0 && i < len(p.test) {
+			s += p.test[i]
+		}
+	}
+	return s
+}
+
+// DensitySkew returns max/min test power density across cores, a measure of
+// how non-uniform the chip's thermal stress is (the paper's motivation needs
+// skew ≫ 1).
+func (p *Profile) DensitySkew() float64 {
+	mn, mx := math.Inf(1), 0.0
+	for i := range p.test {
+		d := p.TestDensity(i)
+		mn = math.Min(mn, d)
+		mx = math.Max(mx, d)
+	}
+	if mn == 0 {
+		return math.Inf(1)
+	}
+	return mx / mn
+}
+
+// Describe renders a per-core power report sorted by test power density.
+func (p *Profile) Describe() string {
+	type row struct {
+		name                string
+		functional, test    float64
+		factor, densityWcm2 float64
+	}
+	rows := make([]row, p.fp.NumBlocks())
+	for i := range rows {
+		rows[i] = row{
+			name:        p.fp.Block(i).Name,
+			functional:  p.functional[i],
+			test:        p.test[i],
+			factor:      p.TestFactor(i),
+			densityWcm2: p.TestDensity(i) * 1e-4,
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].densityWcm2 != rows[j].densityWcm2 {
+			return rows[i].densityWcm2 > rows[j].densityWcm2
+		}
+		return rows[i].name < rows[j].name
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %10s %10s %8s %14s\n", "core", "Pfunc(W)", "Ptest(W)", "factor", "Ptest/A(W/cm²)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %10.2f %10.2f %8.2f %14.2f\n",
+			r.name, r.functional, r.test, r.factor, r.densityWcm2)
+	}
+	fmt.Fprintf(&sb, "totals: functional %.1f W, all-cores-test %.1f W, density skew %.1f×\n",
+		p.FunctionalTotal(), p.TestTotal(), p.DensitySkew())
+	return sb.String()
+}

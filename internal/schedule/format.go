@@ -1,0 +1,85 @@
+package schedule
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/testspec"
+)
+
+// ErrSyntax wraps schedule parse failures.
+var ErrSyntax = errors.New("schedule: syntax error")
+
+// Format renders a schedule in a line-oriented text form that Parse reads
+// back:
+//
+//	# schedule for <spec name>: 3 sessions, length 3 s
+//	TS1: C2 C3 C4
+//	TS2: C5 C6 C7
+//
+// Core names come from the spec, so the file is floorplan-portable and
+// human-editable (e.g. to hand-tune a session before re-checking it with
+// the thermal checker).
+func Format(sc Schedule, spec *testspec.Spec) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# schedule for %s: %d sessions, length %g s\n",
+		spec.Name(), sc.NumSessions(), sc.Length(spec))
+	for i, s := range sc.Sessions() {
+		fmt.Fprintf(&sb, "TS%d: %s\n", i+1, strings.Join(s.Names(spec), " "))
+	}
+	return sb.String()
+}
+
+// Parse reads the Format representation, resolving core names against spec's
+// floorplan, and validates the result (every core exactly once). Session
+// labels before the colon are ignored beyond requiring the "name:" shape, so
+// files can be reordered or relabelled freely.
+func Parse(r io.Reader, spec *testspec.Spec) (Schedule, error) {
+	fp := spec.Floorplan()
+	sc := New()
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return Schedule{}, fmt.Errorf("%w: line %d: want `label: core...`", ErrSyntax, lineNo)
+		}
+		names := strings.Fields(line[colon+1:])
+		if len(names) == 0 {
+			return Schedule{}, fmt.Errorf("%w: line %d: empty session", ErrSyntax, lineNo)
+		}
+		var cores []int
+		for _, nm := range names {
+			i, err := fp.IndexOf(nm)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo, err)
+			}
+			cores = append(cores, i)
+		}
+		s, err := NewSession(cores...)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo, err)
+		}
+		sc = sc.Append(s)
+	}
+	if err := scanner.Err(); err != nil {
+		return Schedule{}, fmt.Errorf("schedule: reading input: %w", err)
+	}
+	if err := sc.Validate(spec); err != nil {
+		return Schedule{}, err
+	}
+	return sc, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, spec *testspec.Spec) (Schedule, error) {
+	return Parse(strings.NewReader(s), spec)
+}

@@ -1,0 +1,109 @@
+package testspec
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+)
+
+// alphaFunctional lists the functional (normal-operation) power of each
+// Alpha 21364 core, W, in the block order of floorplan.Alpha21364(). The
+// values are chosen for a ~100 W chip with the realistic skew between cache
+// banks (low density) and execution units (high density).
+var alphaFunctional = map[string]float64{
+	"L2Base":  14.0,
+	"L2Left":  6.0,
+	"L2Right": 6.0,
+	"Icache":  7.0,
+	"Dcache":  9.0,
+	"Bpred":   4.5,
+	"ITB_DTB": 3.5,
+	"LdStQ":   6.5,
+	"IntExec": 13.0,
+	"IntReg":  9.0,
+	"IntMapQ": 7.0,
+	"FPAdd":   5.5,
+	"FPMul":   7.5,
+	"FPReg":   5.0,
+	"FPMapQ":  4.0,
+}
+
+// alphaTestFactor lists per-core test-power multipliers, all within the
+// paper's 1.5×–8× envelope. Cache arrays take large multipliers (scan chains
+// toggle the whole array every cycle); already-dense execution units take
+// small ones so their solo tests stay below the paper's tightest temperature
+// limit (TL = 145 °C), as required by lines 1–7 of Algorithm 1. The factors
+// are calibrated so every core's solo test peaks at 120–135 °C: hot enough
+// that concurrency is genuinely thermally constrained at TL = 145 °C, cool
+// enough that a sequential schedule is always safe.
+var alphaTestFactor = map[string]float64{
+	"L2Base":  3.5,
+	"L2Left":  4.0,
+	"L2Right": 4.0,
+	"Icache":  5.4,
+	"Dcache":  4.2,
+	"Bpred":   4.4,
+	"ITB_DTB": 5.2,
+	"LdStQ":   4.85,
+	"IntExec": 2.4,
+	"IntReg":  2.15,
+	"IntMapQ": 5.45,
+	"FPAdd":   4.6,
+	"FPMul":   3.5,
+	"FPReg":   5.0,
+	"FPMapQ":  6.35,
+}
+
+// Alpha21364 returns the evaluation workload of the paper: the 15-core Alpha
+// floorplan with test powers between 1.5× and 8× functional power and
+// 1-second tests for every core (so schedule length in seconds equals the
+// session count, matching the integer-second entries of Table 1).
+func Alpha21364() *Spec {
+	fp := floorplan.Alpha21364()
+	functional := make([]float64, fp.NumBlocks())
+	factors := make([]float64, fp.NumBlocks())
+	for i, b := range fp.Blocks() {
+		f, ok := alphaFunctional[b.Name]
+		if !ok {
+			panic(fmt.Sprintf("testspec: no functional power for builtin block %q", b.Name))
+		}
+		m, ok := alphaTestFactor[b.Name]
+		if !ok {
+			panic(fmt.Sprintf("testspec: no test factor for builtin block %q", b.Name))
+		}
+		functional[i] = f
+		factors[i] = m
+	}
+	prof, err := power.FromFactors(fp, functional, factors)
+	if err != nil {
+		panic("testspec: builtin Alpha21364 profile invalid: " + err.Error())
+	}
+	spec, err := UniformLength("alpha21364", prof, 1)
+	if err != nil {
+		panic("testspec: builtin Alpha21364 spec invalid: " + err.Error())
+	}
+	return spec
+}
+
+// Figure1 returns the motivational workload of the paper's Figure 1: the
+// 7-core hypothetical SoC with every core dissipating 15 W during test
+// (functional power 10 W, test factor 1.5×) and 1-second tests.
+func Figure1() *Spec {
+	fp := floorplan.Figure1SoC()
+	functional := make([]float64, fp.NumBlocks())
+	factors := make([]float64, fp.NumBlocks())
+	for i := range functional {
+		functional[i] = 10
+		factors[i] = 1.5
+	}
+	prof, err := power.FromFactors(fp, functional, factors)
+	if err != nil {
+		panic("testspec: builtin Figure1 profile invalid: " + err.Error())
+	}
+	spec, err := UniformLength("figure1", prof, 1)
+	if err != nil {
+		panic("testspec: builtin Figure1 spec invalid: " + err.Error())
+	}
+	return spec
+}

@@ -1,0 +1,95 @@
+package testspec
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+)
+
+// ErrSyntax wraps test-spec parse failures.
+var ErrSyntax = errors.New("testspec: syntax error")
+
+// Parse reads a test-set description matching a floorplan:
+//
+//	# comment, blank lines ignored
+//	<core-name> <functional-W> <test-W> <test-seconds>
+//
+// Every floorplan block must appear exactly once; unknown names are
+// rejected. This is the text format consumed by the CLIs for custom
+// workloads.
+func Parse(r io.Reader, name string, fp *floorplan.Floorplan) (*Spec, error) {
+	n := fp.NumBlocks()
+	functional := make([]float64, n)
+	test := make([]float64, n)
+	lengths := make([]float64, n)
+	seen := make([]bool, n)
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%w: line %d: want `name functional test seconds`, got %d fields",
+				ErrSyntax, lineNo, len(fields))
+		}
+		idx, err := fp.IndexOf(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo, err)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("%w: line %d: duplicate core %q", ErrSyntax, lineNo, fields[0])
+		}
+		var vals [3]float64
+		for k := 0; k < 3; k++ {
+			v, err := strconv.ParseFloat(fields[k+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: field %d: %v", ErrSyntax, lineNo, k+2, err)
+			}
+			vals[k] = v
+		}
+		functional[idx], test[idx], lengths[idx] = vals[0], vals[1], vals[2]
+		seen[idx] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("testspec: reading input: %w", err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("%w: core %q has no test entry", ErrSyntax, fp.Block(i).Name)
+		}
+	}
+	prof, err := power.NewProfile(fp, functional, test)
+	if err != nil {
+		return nil, err
+	}
+	return New(name, prof, lengths)
+}
+
+// ParseString is Parse over a string.
+func ParseString(s, name string, fp *floorplan.Floorplan) (*Spec, error) {
+	return Parse(strings.NewReader(s), name, fp)
+}
+
+// Format renders a Spec in the format accepted by Parse.
+func Format(s *Spec) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# test spec: %s\n", s.Name())
+	sb.WriteString("# format: <core-name> <functional-W> <test-W> <test-seconds>\n")
+	for i := 0; i < s.NumCores(); i++ {
+		ct := s.Test(i)
+		fmt.Fprintf(&sb, "%s\t%.6g\t%.6g\t%.6g\n",
+			ct.Name, s.Profile().Functional(i), ct.Power, ct.Length)
+	}
+	return sb.String()
+}

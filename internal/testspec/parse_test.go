@@ -1,0 +1,84 @@
+package testspec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	orig := Alpha21364()
+	text := Format(orig)
+	back, err := ParseString(text, "roundtrip", orig.Floorplan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < orig.NumCores(); i++ {
+		if math.Abs(back.Test(i).Power-orig.Test(i).Power) > 1e-9 {
+			t.Errorf("core %d test power drifted: %g vs %g", i, back.Test(i).Power, orig.Test(i).Power)
+		}
+		if math.Abs(back.Profile().Functional(i)-orig.Profile().Functional(i)) > 1e-9 {
+			t.Errorf("core %d functional power drifted", i)
+		}
+		if back.Test(i).Length != orig.Test(i).Length {
+			t.Errorf("core %d length drifted", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	fp := floorplan.Figure1SoC()
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"wrong field count", "C1 1 2\n"},
+		{"unknown core", "C9 1 2 1\n"},
+		{"bad number", "C1 1 x 1\n"},
+		{"duplicate core", "C1 1 2 1\nC1 1 2 1\n"},
+		{"missing cores", "C1 1 2 1\n"},
+		{"zero length", fullSpecWithLength("0")},
+		{"negative power", "C1 1 -2 1\nC2 1 2 1\nC3 1 2 1\nC4 1 2 1\nC5 1 2 1\nC6 1 2 1\nC7 1 2 1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseString(tt.src, tt.name, fp); err == nil {
+				t.Error("expected error, got nil")
+			}
+		})
+	}
+}
+
+func fullSpecWithLength(l string) string {
+	out := ""
+	for _, c := range []string{"C1", "C2", "C3", "C4", "C5", "C6", "C7"} {
+		out += c + " 1 2 " + l + "\n"
+	}
+	return out
+}
+
+func TestParseAcceptsCommentsAndOrder(t *testing.T) {
+	fp := floorplan.Figure1SoC()
+	src := `# header
+C7 1 2 1
+C5 1 2 1
+
+C6 1 2 1
+C1 1 2 2
+C2 1 2 1
+C3 1 2 1
+C4 1 2 1
+`
+	spec, err := ParseString(src, "shuffled", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := fp.IndexOf("C1")
+	if spec.Test(c1).Length != 2 {
+		t.Errorf("C1 length %g, want 2", spec.Test(c1).Length)
+	}
+	if got := spec.TotalTestTime(); math.Abs(got-8) > 1e-12 {
+		t.Errorf("TotalTestTime = %g, want 8", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package thermal implements a compact (block-granularity) RC thermal model
+// of a packaged die, in the style pioneered by HotSpot [Skadron et al.,
+// ISCAS'03]: the thermal–electrical duality maps temperature to voltage,
+// heat flow to current, and the chip/package stack to a network of thermal
+// resistances and capacitances.
+//
+// The network has, for a floorplan with n blocks:
+//
+//   - one silicon node per block (power is injected here);
+//   - one heat-spreader node per block footprint, reached through half the
+//     die thickness plus the thermal interface material (TIM);
+//   - lateral conduction between adjacent blocks within the silicon layer
+//     and within the spreader layer (conductance ∝ shared edge length /
+//     centre distance);
+//   - a spreader rim node modelling the spreader area overhanging the die,
+//     fed by blocks on the die boundary;
+//   - a heat-sink node fed vertically by every spreader node and the rim;
+//   - a convection conductance from the sink to the ambient.
+//
+// Steady-state temperatures solve G·T = P (symmetric positive definite);
+// transients integrate C·dT/dt = P − G·T with adaptive RK4. The steady state
+// is the upper bound of the transient response for constant power, which is
+// exactly the property the DATE'05 test-session model relies on.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PackageConfig collects the geometry and material constants of the package
+// stack. The zero value is not usable; start from DefaultPackageConfig.
+// Lengths are metres, conductivities W/(m·K), volumetric heat capacities
+// J/(m³·K), temperatures °C.
+type PackageConfig struct {
+	// Die (silicon) layer.
+	DieThickness float64 // default 0.7 mm
+	KSilicon     float64 // default 100 W/(m·K) (silicon near operating temp)
+	CSilicon     float64 // default 1.75e6 J/(m³·K)
+
+	// Thermal interface material between die and spreader.
+	TIMThickness float64 // default 120 µm
+	KTIM         float64 // default 4 W/(m·K)
+	CTIM         float64 // default 4.0e6 J/(m³·K)
+
+	// Copper heat spreader.
+	SpreaderSide      float64 // default 40 mm (square)
+	SpreaderThickness float64 // default 1 mm
+	KSpreader         float64 // default 400 W/(m·K)
+	CSpreader         float64 // default 3.55e6 J/(m³·K)
+
+	// Heat sink base (fins are folded into the convection resistance).
+	SinkThickness float64 // default 6.9 mm
+	KSink         float64 // default 400 W/(m·K)
+	CSink         float64 // default 3.55e6 J/(m³·K)
+
+	// Convection from sink to ambient.
+	ConvectionR float64 // K/W, default 0.05 (high-performance forced-air sink)
+	ConvectionC float64 // J/K, lumped fin+air capacitance, default 140
+
+	// Ambient temperature. The DATE'05 experiments follow HotSpot's default
+	// of 45 °C inside the case.
+	Ambient float64 // °C
+}
+
+// DefaultPackageConfig returns the package stack used by the experiments: a
+// HotSpot-like desktop package. Calibration note: ConvectionR and the TIM
+// thickness dominate absolute temperatures; the DATE'05 paper ran HotSpot
+// with its default package, and this configuration reproduces the paper's
+// qualitative regime (test sessions of a few active cores reach 65–185 °C
+// depending on power density).
+func DefaultPackageConfig() PackageConfig {
+	return PackageConfig{
+		DieThickness: 0.7e-3,
+		KSilicon:     100,
+		CSilicon:     1.75e6,
+
+		TIMThickness: 120e-6,
+		KTIM:         4,
+		CTIM:         4.0e6,
+
+		SpreaderSide:      40e-3,
+		SpreaderThickness: 1e-3,
+		KSpreader:         400,
+		CSpreader:         3.55e6,
+
+		SinkThickness: 6.9e-3,
+		KSink:         400,
+		CSink:         3.55e6,
+
+		ConvectionR: 0.05,
+		ConvectionC: 140,
+
+		Ambient: 45,
+	}
+}
+
+// ErrConfig wraps all configuration validation failures.
+var ErrConfig = errors.New("thermal: invalid package config")
+
+// Validate checks that every physical constant is positive and that the
+// spreader is at least as large as it needs to be to have a rim. It returns
+// nil for any physically plausible configuration.
+func (c PackageConfig) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"DieThickness", c.DieThickness},
+		{"KSilicon", c.KSilicon},
+		{"CSilicon", c.CSilicon},
+		{"TIMThickness", c.TIMThickness},
+		{"KTIM", c.KTIM},
+		{"CTIM", c.CTIM},
+		{"SpreaderSide", c.SpreaderSide},
+		{"SpreaderThickness", c.SpreaderThickness},
+		{"KSpreader", c.KSpreader},
+		{"CSpreader", c.CSpreader},
+		{"SinkThickness", c.SinkThickness},
+		{"KSink", c.KSink},
+		{"CSink", c.CSink},
+		{"ConvectionR", c.ConvectionR},
+		{"ConvectionC", c.ConvectionC},
+	}
+	for _, ch := range checks {
+		if !(ch.v > 0) { // also rejects NaN
+			return fmt.Errorf("%w: %s = %g, must be > 0", ErrConfig, ch.name, ch.v)
+		}
+	}
+	if c.Ambient < -273.15 {
+		return fmt.Errorf("%w: Ambient = %g °C below absolute zero", ErrConfig, c.Ambient)
+	}
+	return nil
+}

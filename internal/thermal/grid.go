@@ -1,0 +1,274 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/floorplan"
+	"repro/internal/linalg"
+)
+
+// GridModel is the fine-grained counterpart of the block Model: the die is
+// discretised into a regular nx×ny cell grid (HotSpot's "grid mode"),
+// resolving intra-block temperature gradients that the block model averages
+// away. It exists to validate the block model — the two are independent
+// discretisations of the same package — and for visualising temperature
+// fields. The solver is Jacobi-preconditioned CG on a sparse conductance
+// matrix, so grids of tens of thousands of cells remain tractable.
+//
+// Node layout for nc = nx·ny cells: [0, nc) silicon, [nc, 2nc) spreader,
+// 2nc rim, 2nc+1 sink; ambient is the eliminated ground.
+type GridModel struct {
+	fp     *floorplan.Floorplan
+	cfg    PackageConfig
+	nx, ny int
+	cellW  float64
+	cellH  float64
+	sys    *linalg.Sparse
+
+	// cellPowerWeight[b] lists (cell, fraction) pairs: fraction of block
+	// b's power deposited in that cell.
+	cellPowerWeight [][]cellShare
+	// blockCells[b] lists the cells overlapping block b (for read-back).
+	blockCells [][]int
+}
+
+type cellShare struct {
+	cell int
+	frac float64
+}
+
+// NewGridModel discretises fp's die into an nx×ny grid under cfg.
+func NewGridModel(fp *floorplan.Floorplan, cfg PackageConfig, nx, ny int) (*GridModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("%w: grid %d×%d too small (need >= 2×2)", ErrModel, nx, ny)
+	}
+	die := fp.Die()
+	if cfg.SpreaderSide < die.W || cfg.SpreaderSide < die.H {
+		return nil, fmt.Errorf("%w: spreader smaller than die", ErrModel)
+	}
+	g := &GridModel{
+		fp:    fp,
+		cfg:   cfg,
+		nx:    nx,
+		ny:    ny,
+		cellW: die.W / float64(nx),
+		cellH: die.H / float64(ny),
+	}
+	g.mapBlocks()
+	g.assemble()
+	return g, nil
+}
+
+// cellID maps grid coordinates to the silicon node index.
+func (g *GridModel) cellID(x, y int) int { return y*g.nx + x }
+
+func (g *GridModel) numCells() int { return g.nx * g.ny }
+func (g *GridModel) rimNode() int  { return 2 * g.numCells() }
+func (g *GridModel) sinkNode() int { return 2*g.numCells() + 1 }
+
+// cellRect returns the geometry of cell (x, y) in die coordinates.
+func (g *GridModel) cellRect(x, y int) (x0, y0, x1, y1 float64) {
+	die := g.fp.Die()
+	return die.X + float64(x)*g.cellW, die.Y + float64(y)*g.cellH,
+		die.X + float64(x+1)*g.cellW, die.Y + float64(y+1)*g.cellH
+}
+
+// mapBlocks computes the block→cell coverage fractions.
+func (g *GridModel) mapBlocks() {
+	n := g.fp.NumBlocks()
+	g.cellPowerWeight = make([][]cellShare, n)
+	g.blockCells = make([][]int, n)
+	for b := 0; b < n; b++ {
+		r := g.fp.Block(b).Rect
+		area := r.Area()
+		for y := 0; y < g.ny; y++ {
+			for x := 0; x < g.nx; x++ {
+				cx0, cy0, cx1, cy1 := g.cellRect(x, y)
+				ox := math.Min(cx1, r.MaxX()) - math.Max(cx0, r.X)
+				oy := math.Min(cy1, r.MaxY()) - math.Max(cy0, r.Y)
+				if ox <= 0 || oy <= 0 {
+					continue
+				}
+				overlap := ox * oy
+				id := g.cellID(x, y)
+				g.cellPowerWeight[b] = append(g.cellPowerWeight[b], cellShare{id, overlap / area})
+				g.blockCells[b] = append(g.blockCells[b], id)
+			}
+		}
+	}
+}
+
+// assemble builds the sparse conductance matrix.
+func (g *GridModel) assemble() {
+	cfg := g.cfg
+	die := g.fp.Die()
+	nc := g.numCells()
+	b := linalg.NewSparseBuilder(2*nc + 2)
+	cellArea := g.cellW * g.cellH
+
+	// Lateral conductances within silicon and spreader layers.
+	gxSi := cfg.KSilicon * cfg.DieThickness * g.cellH / g.cellW
+	gySi := cfg.KSilicon * cfg.DieThickness * g.cellW / g.cellH
+	gxSp := cfg.KSpreader * cfg.SpreaderThickness * g.cellH / g.cellW
+	gySp := cfg.KSpreader * cfg.SpreaderThickness * g.cellW / g.cellH
+
+	rVert := cfg.DieThickness/(2*cfg.KSilicon*cellArea) +
+		cfg.TIMThickness/(cfg.KTIM*cellArea) +
+		cfg.SpreaderThickness/(2*cfg.KSpreader*cellArea)
+	rDown := cfg.SpreaderThickness/(2*cfg.KSpreader*cellArea) +
+		cfg.SinkThickness/(2*cfg.KSink*cellArea)
+
+	overhangX := (cfg.SpreaderSide - die.W) / 2
+	overhangY := (cfg.SpreaderSide - die.H) / 2
+
+	for y := 0; y < g.ny; y++ {
+		for x := 0; x < g.nx; x++ {
+			id := g.cellID(x, y)
+			sp := nc + id
+			if x+1 < g.nx {
+				b.AddConductance(id, g.cellID(x+1, y), gxSi)
+				b.AddConductance(sp, nc+g.cellID(x+1, y), gxSp)
+			}
+			if y+1 < g.ny {
+				b.AddConductance(id, g.cellID(x, y+1), gySi)
+				b.AddConductance(sp, nc+g.cellID(x, y+1), gySp)
+			}
+			b.AddConductance(id, sp, 1/rVert)
+			b.AddConductance(sp, g.sinkNode(), 1/rDown)
+
+			// Boundary spreader cells feed the rim.
+			if x == 0 || x == g.nx-1 {
+				if overhangX > 1e-9 {
+					path := g.cellW/2 + overhangX/2
+					b.AddConductance(sp, g.rimNode(), cfg.KSpreader*cfg.SpreaderThickness*g.cellH/path)
+				}
+			}
+			if y == 0 || y == g.ny-1 {
+				if overhangY > 1e-9 {
+					path := g.cellH/2 + overhangY/2
+					b.AddConductance(sp, g.rimNode(), cfg.KSpreader*cfg.SpreaderThickness*g.cellW/path)
+				}
+			}
+		}
+	}
+
+	rimArea := cfg.SpreaderSide*cfg.SpreaderSide - die.W*die.H
+	if rimArea < 1e-9 {
+		rimArea = 1e-9
+	}
+	rRim := cfg.SpreaderThickness/(2*cfg.KSpreader*rimArea) +
+		cfg.SinkThickness/(2*cfg.KSink*rimArea)
+	b.AddConductance(g.rimNode(), g.sinkNode(), 1/rRim)
+	b.AddGround(g.sinkNode(), 1/cfg.ConvectionR)
+
+	g.sys = b.Build()
+}
+
+// GridResult is the steady-state field of a grid solve.
+type GridResult struct {
+	model *GridModel
+	temps []float64 // full node vector, °C
+}
+
+// SteadyState solves the grid for a per-block power map (W). Block power is
+// deposited uniformly over the block footprint.
+func (g *GridModel) SteadyState(power []float64) (*GridResult, error) {
+	if len(power) != g.fp.NumBlocks() {
+		return nil, fmt.Errorf("%w: got %d entries, floorplan has %d blocks",
+			ErrPowerShape, len(power), g.fp.NumBlocks())
+	}
+	rhs := make([]float64, 2*g.numCells()+2)
+	for bi, p := range power {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("%w: power[%d] = %g", ErrPowerShape, bi, p)
+		}
+		for _, cs := range g.cellPowerWeight[bi] {
+			rhs[cs.cell] += p * cs.frac
+		}
+	}
+	rise, err := g.sys.SolveCG(rhs, linalg.CGOptions{Tol: 1e-9})
+	if err != nil {
+		return nil, fmt.Errorf("thermal: grid solve: %w", err)
+	}
+	temps := make([]float64, len(rise))
+	for i, dt := range rise {
+		temps[i] = g.cfg.Ambient + dt
+	}
+	return &GridResult{model: g, temps: temps}, nil
+}
+
+// NumCells returns the silicon cell count.
+func (g *GridModel) NumCells() int { return g.numCells() }
+
+// Dims returns the grid dimensions.
+func (g *GridModel) Dims() (nx, ny int) { return g.nx, g.ny }
+
+// Floorplan returns the discretised floorplan.
+func (g *GridModel) Floorplan() *floorplan.Floorplan { return g.fp }
+
+// CellTemp returns the silicon temperature of cell (x, y) (°C).
+func (r *GridResult) CellTemp(x, y int) float64 {
+	return r.temps[r.model.cellID(x, y)]
+}
+
+// BlockMaxTemp returns the hottest silicon cell overlapping block b (°C) —
+// the grid-resolution analogue of the block model's BlockTemp.
+func (r *GridResult) BlockMaxTemp(b int) float64 {
+	mx := math.Inf(-1)
+	for _, id := range r.model.blockCells[b] {
+		mx = math.Max(mx, r.temps[id])
+	}
+	return mx
+}
+
+// MaxTemp returns the hottest silicon cell on the die (°C).
+func (r *GridResult) MaxTemp() float64 {
+	mx := math.Inf(-1)
+	for i := 0; i < r.model.numCells(); i++ {
+		mx = math.Max(mx, r.temps[i])
+	}
+	return mx
+}
+
+// SinkTemp returns the heat-sink temperature (°C).
+func (r *GridResult) SinkTemp() float64 { return r.temps[r.model.sinkNode()] }
+
+// TotalHeatToAmbient returns the heat flow into the ambient (W), for energy
+// conservation checks.
+func (r *GridResult) TotalHeatToAmbient() float64 {
+	return (r.SinkTemp() - r.model.cfg.Ambient) / r.model.cfg.ConvectionR
+}
+
+// Heatmap renders the silicon temperature field as ASCII art, hottest cells
+// darkest, with a temperature legend. Rows are printed north to south so the
+// picture matches the floorplan orientation.
+func (r *GridResult) Heatmap() string {
+	glyphs := []byte(" .:-=+*#%@")
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for i := 0; i < r.model.numCells(); i++ {
+		mn = math.Min(mn, r.temps[i])
+		mx = math.Max(mx, r.temps[i])
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "die temperature field %.2f–%.2f °C (cell %d×%d)\n",
+		mn, mx, r.model.nx, r.model.ny)
+	for y := r.model.ny - 1; y >= 0; y-- {
+		for x := 0; x < r.model.nx; x++ {
+			t := r.CellTemp(x, y)
+			k := 0
+			if mx > mn {
+				k = int((t - mn) / (mx - mn) * float64(len(glyphs)-1))
+			}
+			sb.WriteByte(glyphs[k])
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "legend: '%c' = %.1f °C … '%c' = %.1f °C\n",
+		glyphs[0], mn, glyphs[len(glyphs)-1], mx)
+	return sb.String()
+}

@@ -1,0 +1,241 @@
+package thermal
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func alphaGrid(t *testing.T, nx, ny int) *GridModel {
+	t.Helper()
+	g, err := NewGridModel(floorplan.Alpha21364(), DefaultPackageConfig(), nx, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridModelValidation(t *testing.T) {
+	fp := floorplan.Alpha21364()
+	if _, err := NewGridModel(fp, DefaultPackageConfig(), 1, 8); !errors.Is(err, ErrModel) {
+		t.Errorf("tiny grid: err = %v, want ErrModel", err)
+	}
+	bad := DefaultPackageConfig()
+	bad.KSilicon = 0
+	if _, err := NewGridModel(fp, bad, 8, 8); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad config: err = %v, want ErrConfig", err)
+	}
+	small := DefaultPackageConfig()
+	small.SpreaderSide = 1e-3
+	if _, err := NewGridModel(fp, small, 8, 8); !errors.Is(err, ErrModel) {
+		t.Errorf("small spreader: err = %v, want ErrModel", err)
+	}
+}
+
+func TestGridEnergyConservation(t *testing.T) {
+	g := alphaGrid(t, 16, 16)
+	power := make([]float64, g.Floorplan().NumBlocks())
+	var total float64
+	for i := range power {
+		power[i] = 3 + float64(i)
+		total += power[i]
+	}
+	res, err := g.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := res.TotalHeatToAmbient(); math.Abs(out-total) > 1e-4*total {
+		t.Errorf("energy not conserved: in %.4f W, out %.4f W", total, out)
+	}
+}
+
+func TestGridZeroPowerIsAmbient(t *testing.T) {
+	g := alphaGrid(t, 8, 8)
+	res, err := g.SteadyState(make([]float64, g.Floorplan().NumBlocks()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := DefaultPackageConfig().Ambient
+	if math.Abs(res.MaxTemp()-amb) > 1e-9 {
+		t.Errorf("MaxTemp = %g with zero power, want ambient %g", res.MaxTemp(), amb)
+	}
+}
+
+func TestGridHotSpotLocalisation(t *testing.T) {
+	// Power only IntReg: the hottest cell must lie inside IntReg's footprint
+	// and BlockMaxTemp must agree with the global maximum.
+	fp := floorplan.Alpha21364()
+	g, err := NewGridModel(fp, DefaultPackageConfig(), 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := fp.IndexOf("IntReg")
+	power := make([]float64, fp.NumBlocks())
+	power[src] = 20
+	res, err := g.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BlockMaxTemp(src)-res.MaxTemp()) > 1e-9 {
+		t.Errorf("hottest cell %.3f not inside the powered block (block max %.3f)",
+			res.MaxTemp(), res.BlockMaxTemp(src))
+	}
+	// All other blocks must be cooler.
+	for b := 0; b < fp.NumBlocks(); b++ {
+		if b == src {
+			continue
+		}
+		if res.BlockMaxTemp(b) >= res.BlockMaxTemp(src) {
+			t.Errorf("block %s (%.3f) at least as hot as the source (%.3f)",
+				fp.Block(b).Name, res.BlockMaxTemp(b), res.BlockMaxTemp(src))
+		}
+	}
+}
+
+func TestGridAgreesWithBlockModel(t *testing.T) {
+	// The central validation: two independent discretisations of the same
+	// package must broadly agree — peak temperatures within a small relative
+	// band, and the same hottest block, across several sessions.
+	fp := floorplan.Alpha21364()
+	cfg := DefaultPackageConfig()
+	block, err := NewModel(fp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewGridModel(fp, cfg, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := [][]string{
+		{"IntExec"},
+		{"L2Base"},
+		{"IntExec", "IntReg", "Dcache"},
+		{"L2Base", "L2Left", "L2Right"},
+		{"Icache", "Dcache", "Bpred", "ITB_DTB", "LdStQ"},
+	}
+	for _, names := range sessions {
+		power := make([]float64, fp.NumBlocks())
+		for _, nm := range names {
+			i, err := fp.IndexOf(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			power[i] = 25
+		}
+		rb, err := block.SteadyState(power)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := grid.SteadyState(power)
+		if err != nil {
+			t.Fatal(err)
+		}
+		amb := cfg.Ambient
+		riseB := rb.MaxTemp() - amb
+		riseG := rg.MaxTemp() - amb
+		// The two discretisations must agree on the rise within a moderate
+		// band: the grid resolves intra-block spreading (reads cooler for
+		// blocky sources) and intra-block gradients (reads hotter for
+		// skewed ones); ±30–60% of the rise is the expected envelope for a
+		// 32×32 grid vs a 15-node block model.
+		ratio := riseG / riseB
+		if ratio < 0.7 || ratio > 1.6 {
+			t.Errorf("session %v: grid/block rise ratio %.2f outside [0.7, 1.6] (%.1f vs %.1f K)",
+				names, ratio, riseG, riseB)
+		}
+	}
+}
+
+func TestGridAndBlockRankSessionsIdentically(t *testing.T) {
+	// Ordinal agreement matters more than absolute: both models must order
+	// these three sessions the same way (dense > medium > sparse).
+	fp := floorplan.Alpha21364()
+	cfg := DefaultPackageConfig()
+	block, err := NewModel(fp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewGridModel(fp, cfg, 24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(names ...string) []float64 {
+		power := make([]float64, fp.NumBlocks())
+		for _, nm := range names {
+			i, _ := fp.IndexOf(nm)
+			power[i] = 20
+		}
+		return power
+	}
+	cases := [][]float64{
+		mk("IntReg", "IntExec"), // dense pair
+		mk("Icache", "Dcache"),  // medium pair
+		mk("L2Left", "L2Right"), // sparse pair
+	}
+	var blockT, gridT []float64
+	for _, p := range cases {
+		rb, err := block.SteadyState(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := grid.SteadyState(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockT = append(blockT, rb.MaxTemp())
+		gridT = append(gridT, rg.MaxTemp())
+	}
+	for i := 0; i < len(cases)-1; i++ {
+		if !(blockT[i] > blockT[i+1]) {
+			t.Errorf("block model ordering broken at %d: %v", i, blockT)
+		}
+		if !(gridT[i] > gridT[i+1]) {
+			t.Errorf("grid model ordering broken at %d: %v", i, gridT)
+		}
+	}
+}
+
+func TestGridPowerValidation(t *testing.T) {
+	g := alphaGrid(t, 8, 8)
+	if _, err := g.SteadyState([]float64{1}); !errors.Is(err, ErrPowerShape) {
+		t.Errorf("short power: err = %v, want ErrPowerShape", err)
+	}
+	bad := make([]float64, g.Floorplan().NumBlocks())
+	bad[0] = -2
+	if _, err := g.SteadyState(bad); !errors.Is(err, ErrPowerShape) {
+		t.Errorf("negative power: err = %v, want ErrPowerShape", err)
+	}
+}
+
+func TestGridHeatmap(t *testing.T) {
+	fp := floorplan.Figure1SoC()
+	g, err := NewGridModel(fp, DefaultPackageConfig(), 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := fp.IndexOf("C2")
+	power := make([]float64, fp.NumBlocks())
+	power[c2] = 15
+	res, err := g.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := res.Heatmap()
+	if !strings.Contains(hm, "@") || !strings.Contains(hm, "legend") {
+		t.Errorf("heatmap missing extremes or legend:\n%s", hm)
+	}
+	// 20 rows of 20 cells plus header and legend.
+	lines := strings.Split(strings.TrimRight(hm, "\n"), "\n")
+	if len(lines) != 22 {
+		t.Errorf("heatmap has %d lines, want 22", len(lines))
+	}
+	if nx, ny := g.Dims(); nx != 20 || ny != 20 {
+		t.Errorf("Dims = %d×%d", nx, ny)
+	}
+	if g.NumCells() != 400 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+}

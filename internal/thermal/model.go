@@ -1,0 +1,250 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/linalg"
+)
+
+// Node index layout for a floorplan with n blocks:
+//
+//	[0, n)      silicon block nodes (power injected here)
+//	[n, 2n)     spreader nodes under each block footprint
+//	2n          spreader rim (overhang beyond the die)
+//	2n+1        heat-sink node
+//
+// The ambient is the eliminated ground node; conductances to it appear only
+// on the matrix diagonal.
+
+// ErrModel wraps model construction failures.
+var ErrModel = errors.New("thermal: invalid model")
+
+// ErrPowerShape is returned when a power vector length does not match the
+// block count.
+var ErrPowerShape = errors.New("thermal: power vector length mismatch")
+
+// Model is an immutable compact RC thermal model of one floorplan in one
+// package. Construction assembles and factorizes the conductance matrix, so
+// repeated steady-state queries cost only two triangular solves. A Model is
+// safe for concurrent use.
+type Model struct {
+	fp   *floorplan.Floorplan
+	adj  *floorplan.Adjacency
+	cfg  PackageConfig
+	n    int // block count
+	size int // total node count = 2n+2
+
+	g    *linalg.Matrix   // conductance matrix (ambient eliminated), W/K
+	caps []float64        // per-node heat capacity, J/K
+	chol *linalg.Cholesky // cached factorization of g
+}
+
+// NewModel builds the RC network for fp in the given package. The spreader
+// must be at least as large as the die.
+func NewModel(fp *floorplan.Floorplan, cfg PackageConfig) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	die := fp.Die()
+	if cfg.SpreaderSide < die.W-geom.Eps || cfg.SpreaderSide < die.H-geom.Eps {
+		return nil, fmt.Errorf("%w: spreader side %g m smaller than die %g×%g m",
+			ErrModel, cfg.SpreaderSide, die.W, die.H)
+	}
+	m := &Model{
+		fp:   fp,
+		adj:  floorplan.NewAdjacency(fp),
+		cfg:  cfg,
+		n:    fp.NumBlocks(),
+		size: 2*fp.NumBlocks() + 2,
+	}
+	m.assemble()
+	ch, err := linalg.NewCholesky(m.g)
+	if err != nil {
+		// The assembled matrix is SPD by construction; failure here means a
+		// degenerate floorplan (e.g. zero-area blocks slipped past
+		// validation) and is reported, not panicked, to keep the CLI usable.
+		return nil, fmt.Errorf("%w: conductance matrix not SPD: %v", ErrModel, err)
+	}
+	m.chol = ch
+	return m, nil
+}
+
+// spreaderNode returns the node index of the spreader cell under block i.
+func (m *Model) spreaderNode(i int) int { return m.n + i }
+
+// rimNode returns the spreader-rim node index.
+func (m *Model) rimNode() int { return 2 * m.n }
+
+// sinkNode returns the heat-sink node index.
+func (m *Model) sinkNode() int { return 2*m.n + 1 }
+
+// addG inserts a conductance g between nodes a and b (symmetric stencil).
+func addG(gm *linalg.Matrix, a, b int, g float64) {
+	gm.Add(a, a, g)
+	gm.Add(b, b, g)
+	gm.Add(a, b, -g)
+	gm.Add(b, a, -g)
+}
+
+// addGround inserts a conductance g from node a to the ambient ground.
+func addGround(gm *linalg.Matrix, a int, g float64) {
+	gm.Add(a, a, g)
+}
+
+// assemble builds the conductance matrix and the capacitance vector.
+func (m *Model) assemble() {
+	cfg := m.cfg
+	die := m.fp.Die()
+	gm := linalg.NewSquare(m.size)
+	caps := make([]float64, m.size)
+
+	rimArea := cfg.SpreaderSide*cfg.SpreaderSide - die.W*die.H
+	if rimArea < 1e-9 { // spreader == die: keep a sliver so the node is tied in
+		rimArea = 1e-9
+	}
+
+	for i := 0; i < m.n; i++ {
+		blk := m.fp.Block(i)
+		area := blk.Area()
+
+		// Lateral silicon conduction to each neighbour. Each pair is visited
+		// twice (i→j and j→i), so insert half the conductance per visit.
+		for _, nb := range m.adj.Neighbors(i) {
+			g := cfg.KSilicon * cfg.DieThickness * nb.SharedLen / nb.PathLen
+			addG(gm, i, nb.Index, g/2)
+		}
+
+		// Vertical: silicon node → spreader node through half the die, the
+		// TIM, and half the spreader thickness.
+		rVert := cfg.DieThickness/(2*cfg.KSilicon*area) +
+			cfg.TIMThickness/(cfg.KTIM*area) +
+			cfg.SpreaderThickness/(2*cfg.KSpreader*area)
+		addG(gm, i, m.spreaderNode(i), 1/rVert)
+
+		// Lateral spreader conduction mirrors the silicon adjacency with the
+		// spreader's own conductivity and thickness.
+		for _, nb := range m.adj.Neighbors(i) {
+			g := cfg.KSpreader * cfg.SpreaderThickness * nb.SharedLen / nb.PathLen
+			addG(gm, m.spreaderNode(i), m.spreaderNode(nb.Index), g/2)
+		}
+
+		// Boundary blocks feed the spreader rim through their die-edge
+		// contact segments.
+		for _, rc := range m.adj.Rim(i) {
+			overhang := m.overhang(rc.Side)
+			if overhang <= geom.Eps {
+				continue
+			}
+			path := m.distToDieEdge(blk.Rect, rc.Side) + overhang/2
+			g := cfg.KSpreader * cfg.SpreaderThickness * rc.Len / path
+			addG(gm, m.spreaderNode(i), m.rimNode(), g)
+		}
+
+		// Spreader node → sink node through the remaining spreader half and
+		// half the sink base.
+		rDown := cfg.SpreaderThickness/(2*cfg.KSpreader*area) +
+			cfg.SinkThickness/(2*cfg.KSink*area)
+		addG(gm, m.spreaderNode(i), m.sinkNode(), 1/rDown)
+
+		// Heat capacities: silicon block plus half the TIM above it; the
+		// spreader cell takes the other TIM half.
+		caps[i] = cfg.CSilicon*area*cfg.DieThickness + cfg.CTIM*area*cfg.TIMThickness/2
+		caps[m.spreaderNode(i)] = cfg.CSpreader*area*cfg.SpreaderThickness +
+			cfg.CTIM*area*cfg.TIMThickness/2
+	}
+
+	// Rim → sink.
+	rRim := cfg.SpreaderThickness/(2*cfg.KSpreader*rimArea) +
+		cfg.SinkThickness/(2*cfg.KSink*rimArea)
+	addG(gm, m.rimNode(), m.sinkNode(), 1/rRim)
+	caps[m.rimNode()] = cfg.CSpreader * rimArea * cfg.SpreaderThickness
+
+	// Sink → ambient convection.
+	addGround(gm, m.sinkNode(), 1/cfg.ConvectionR)
+	caps[m.sinkNode()] = cfg.CSink*cfg.SpreaderSide*cfg.SpreaderSide*cfg.SinkThickness +
+		cfg.ConvectionC
+
+	m.g = gm
+	m.caps = caps
+}
+
+// overhang returns how far the spreader extends beyond the die on the given
+// side.
+func (m *Model) overhang(side geom.Side) float64 {
+	die := m.fp.Die()
+	switch side {
+	case geom.SideEast, geom.SideWest:
+		return (m.cfg.SpreaderSide - die.W) / 2
+	case geom.SideNorth, geom.SideSouth:
+		return (m.cfg.SpreaderSide - die.H) / 2
+	default:
+		return 0
+	}
+}
+
+// distToDieEdge returns the distance from the block centre to the die edge on
+// the given side.
+func (m *Model) distToDieEdge(r geom.Rect, side geom.Side) float64 {
+	die := m.fp.Die()
+	c := r.Center()
+	switch side {
+	case geom.SideEast:
+		return die.MaxX() - c.X
+	case geom.SideWest:
+		return c.X - die.X
+	case geom.SideNorth:
+		return die.MaxY() - c.Y
+	case geom.SideSouth:
+		return c.Y - die.Y
+	default:
+		return math.Inf(1)
+	}
+}
+
+// Floorplan returns the floorplan the model was built from.
+func (m *Model) Floorplan() *floorplan.Floorplan { return m.fp }
+
+// Adjacency returns the lateral adjacency graph (shared with the model;
+// treat as read-only).
+func (m *Model) Adjacency() *floorplan.Adjacency { return m.adj }
+
+// Config returns the package configuration.
+func (m *Model) Config() PackageConfig { return m.cfg }
+
+// NumBlocks returns the number of silicon blocks.
+func (m *Model) NumBlocks() int { return m.n }
+
+// NumNodes returns the total node count of the RC network.
+func (m *Model) NumNodes() int { return m.size }
+
+// Conductance returns a copy of the assembled conductance matrix (W/K),
+// mainly for tests and diagnostics.
+func (m *Model) Conductance() *linalg.Matrix { return m.g.Clone() }
+
+// Capacitances returns a copy of the per-node heat capacities (J/K).
+func (m *Model) Capacitances() []float64 {
+	out := make([]float64, len(m.caps))
+	copy(out, m.caps)
+	return out
+}
+
+// expandPower pads a per-block power vector to the full node vector.
+func (m *Model) expandPower(power []float64) ([]float64, error) {
+	if len(power) != m.n {
+		return nil, fmt.Errorf("%w: got %d entries, floorplan has %d blocks",
+			ErrPowerShape, len(power), m.n)
+	}
+	full := make([]float64, m.size)
+	for i, p := range power {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("%w: power[%d] = %g, must be finite and >= 0",
+				ErrPowerShape, i, p)
+		}
+		full[i] = p
+	}
+	return full, nil
+}

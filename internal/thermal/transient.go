@@ -1,0 +1,306 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Integrator selects the time-integration scheme for transients.
+type Integrator int
+
+const (
+	// CrankNicolson is the default: unconditionally stable, second-order
+	// accurate, one factorization per run. The thermal network is stiff (the
+	// silicon time constants are milliseconds while the sink's is tens of
+	// seconds), which rules out explicit schemes for long horizons.
+	CrankNicolson Integrator = iota
+	// RK4 is the classic explicit fourth-order scheme HotSpot uses, stepped
+	// at the stability limit. Accurate but slow on long horizons; retained
+	// as an independent cross-check of CrankNicolson.
+	RK4
+)
+
+// String implements fmt.Stringer.
+func (in Integrator) String() string {
+	switch in {
+	case CrankNicolson:
+		return "crank-nicolson"
+	case RK4:
+		return "rk4"
+	default:
+		return fmt.Sprintf("integrator(%d)", int(in))
+	}
+}
+
+// ErrTransient wraps transient-simulation argument errors.
+var ErrTransient = errors.New("thermal: invalid transient options")
+
+// TransientOptions configures a transient run.
+type TransientOptions struct {
+	Duration    float64    // simulated time, s (> 0)
+	Step        float64    // time step, s; 0 → auto (CN: Duration/2000, RK4: stability limit)
+	SampleEvery float64    // sampling period for the trace, s; 0 → 100 samples
+	Integrator  Integrator // defaults to CrankNicolson
+	InitialRise []float64  // per-node initial rise above ambient, K; nil → all zero
+}
+
+// Sample is one point of a transient trace.
+type Sample struct {
+	Time     float64 // s
+	MaxTemp  float64 // hottest silicon block, °C
+	SinkTemp float64 // °C
+}
+
+// TransientResult holds a transient trace plus the final temperature field.
+type TransientResult struct {
+	model   *Model
+	Samples []Sample
+	final   []float64 // full node vector, °C
+}
+
+// FinalBlockTemp returns block i's temperature at the end of the run (°C).
+func (r *TransientResult) FinalBlockTemp(i int) float64 { return r.final[i] }
+
+// FinalMaxTemp returns the hottest block temperature at the end of the run.
+func (r *TransientResult) FinalMaxTemp() float64 {
+	mx := r.final[0]
+	for i := 1; i < r.model.n; i++ {
+		if r.final[i] > mx {
+			mx = r.final[i]
+		}
+	}
+	return mx
+}
+
+// FinalRise returns a copy of the full node rise vector above ambient at the
+// end of the run, suitable for chaining runs via InitialRise.
+func (r *TransientResult) FinalRise() []float64 {
+	out := make([]float64, len(r.final))
+	for i, t := range r.final {
+		out[i] = t - r.model.cfg.Ambient
+	}
+	return out
+}
+
+// PeakMaxTemp returns the hottest sampled block temperature over the whole
+// trace (°C).
+func (r *TransientResult) PeakMaxTemp() float64 {
+	var mx float64 = math.Inf(-1)
+	for _, s := range r.Samples {
+		if s.MaxTemp > mx {
+			mx = s.MaxTemp
+		}
+	}
+	return mx
+}
+
+// Transient integrates C·dT/dt = P − G·T from the given initial state under a
+// constant per-block power map.
+func (m *Model) Transient(power []float64, opts TransientOptions) (*TransientResult, error) {
+	full, err := m.expandPower(power)
+	if err != nil {
+		return nil, err
+	}
+	if !(opts.Duration > 0) {
+		return nil, fmt.Errorf("%w: Duration = %g, must be > 0", ErrTransient, opts.Duration)
+	}
+	if opts.Step < 0 || opts.SampleEvery < 0 {
+		return nil, fmt.Errorf("%w: negative Step or SampleEvery", ErrTransient)
+	}
+	rise := make([]float64, m.size)
+	if opts.InitialRise != nil {
+		if len(opts.InitialRise) != m.size {
+			return nil, fmt.Errorf("%w: InitialRise has %d entries, want %d",
+				ErrTransient, len(opts.InitialRise), m.size)
+		}
+		copy(rise, opts.InitialRise)
+	}
+	sampleEvery := opts.SampleEvery
+	if sampleEvery == 0 {
+		sampleEvery = opts.Duration / 100
+	}
+
+	var trace []Sample
+	record := func(t float64, x []float64) {
+		mx := x[0]
+		for i := 1; i < m.n; i++ {
+			if x[i] > mx {
+				mx = x[i]
+			}
+		}
+		trace = append(trace, Sample{
+			Time:     t,
+			MaxTemp:  m.cfg.Ambient + mx,
+			SinkTemp: m.cfg.Ambient + x[m.sinkNode()],
+		})
+	}
+
+	switch opts.Integrator {
+	case CrankNicolson:
+		if err := m.integrateCN(full, rise, opts.Duration, opts.Step, sampleEvery, record); err != nil {
+			return nil, err
+		}
+	case RK4:
+		if err := m.integrateRK4(full, rise, opts.Duration, opts.Step, sampleEvery, record); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown integrator %d", ErrTransient, opts.Integrator)
+	}
+
+	final := make([]float64, m.size)
+	for i, dt := range rise {
+		final[i] = m.cfg.Ambient + dt
+	}
+	return &TransientResult{model: m, Samples: trace, final: final}, nil
+}
+
+// integrateCN advances rise in place with Crank–Nicolson:
+// (C/h + G/2)·x⁺ = (C/h − G/2)·x + P.
+func (m *Model) integrateCN(power, rise []float64, duration, step, sampleEvery float64,
+	record func(float64, []float64)) error {
+	h := step
+	if h == 0 {
+		h = duration / 2000
+	}
+	// Left matrix A = C/h + G/2; right matrix B = C/h − G/2.
+	a := m.g.Clone()
+	b := m.g.Clone()
+	for i := 0; i < m.size; i++ {
+		for j := 0; j < m.size; j++ {
+			a.Set(i, j, m.g.At(i, j)/2)
+			b.Set(i, j, -m.g.At(i, j)/2)
+		}
+		a.Add(i, i, m.caps[i]/h)
+		b.Add(i, i, m.caps[i]/h)
+	}
+	ch, err := linalg.NewCholesky(a)
+	if err != nil {
+		return fmt.Errorf("thermal: CN matrix not SPD: %w", err)
+	}
+	t, nextSample := 0.0, 0.0
+	record(0, rise)
+	nextSample = sampleEvery
+	for t < duration-1e-12 {
+		hEff := math.Min(h, duration-t)
+		if hEff < h-1e-12 {
+			// Final fractional step: re-factorize for the shortened step.
+			return m.cnFractionalTail(power, rise, hEff, t, duration, record)
+		}
+		rhs, err := b.MulVec(rise)
+		if err != nil {
+			return err
+		}
+		for i := range rhs {
+			rhs[i] += power[i]
+		}
+		next, err := ch.Solve(rhs)
+		if err != nil {
+			return err
+		}
+		copy(rise, next)
+		t += hEff
+		if t+1e-12 >= nextSample {
+			record(t, rise)
+			nextSample += sampleEvery
+		}
+	}
+	record(duration, rise)
+	return nil
+}
+
+// cnFractionalTail performs the final, shorter CN step.
+func (m *Model) cnFractionalTail(power, rise []float64, h, t, duration float64,
+	record func(float64, []float64)) error {
+	a := m.g.Clone()
+	b := m.g.Clone()
+	for i := 0; i < m.size; i++ {
+		for j := 0; j < m.size; j++ {
+			a.Set(i, j, m.g.At(i, j)/2)
+			b.Set(i, j, -m.g.At(i, j)/2)
+		}
+		a.Add(i, i, m.caps[i]/h)
+		b.Add(i, i, m.caps[i]/h)
+	}
+	ch, err := linalg.NewCholesky(a)
+	if err != nil {
+		return err
+	}
+	rhs, err := b.MulVec(rise)
+	if err != nil {
+		return err
+	}
+	for i := range rhs {
+		rhs[i] += power[i]
+	}
+	next, err := ch.Solve(rhs)
+	if err != nil {
+		return err
+	}
+	copy(rise, next)
+	record(duration, rise)
+	return nil
+}
+
+// integrateRK4 advances rise in place with explicit RK4 at (or below) the
+// stability-limited step.
+func (m *Model) integrateRK4(power, rise []float64, duration, step, sampleEvery float64,
+	record func(float64, []float64)) error {
+	// Stability: explicit RK4 needs |λ|·h ≲ 2.78 on the real axis; the
+	// spectral radius is bounded by max_i G_ii/C_i (Gershgorin, diagonally
+	// dominant G). Use a 2× safety margin.
+	var lambdaMax float64
+	for i := 0; i < m.size; i++ {
+		if l := m.g.At(i, i) / m.caps[i]; l > lambdaMax {
+			lambdaMax = l
+		}
+	}
+	hStable := 1.4 / lambdaMax
+	h := step
+	if h == 0 || h > hStable {
+		h = hStable
+	}
+	deriv := func(x []float64) []float64 {
+		gx, err := m.g.MulVec(x)
+		if err != nil { // impossible: sizes are fixed at construction
+			panic(err)
+		}
+		d := make([]float64, m.size)
+		for i := range d {
+			d[i] = (power[i] - gx[i]) / m.caps[i]
+		}
+		return d
+	}
+	tmp := make([]float64, m.size)
+	t, nextSample := 0.0, sampleEvery
+	record(0, rise)
+	for t < duration-1e-12 {
+		hEff := math.Min(h, duration-t)
+		k1 := deriv(rise)
+		for i := range tmp {
+			tmp[i] = rise[i] + hEff/2*k1[i]
+		}
+		k2 := deriv(tmp)
+		for i := range tmp {
+			tmp[i] = rise[i] + hEff/2*k2[i]
+		}
+		k3 := deriv(tmp)
+		for i := range tmp {
+			tmp[i] = rise[i] + hEff*k3[i]
+		}
+		k4 := deriv(tmp)
+		for i := range rise {
+			rise[i] += hEff / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+		t += hEff
+		if t+1e-12 >= nextSample {
+			record(t, rise)
+			nextSample += sampleEvery
+		}
+	}
+	record(duration, rise)
+	return nil
+}

@@ -1,0 +1,117 @@
+package thermalsched_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	thermalsched "repro"
+)
+
+// randomSystem builds a complete scheduling problem from one seed: a random
+// slicing-tree floorplan with 6–24 cores and area-proportional powers inside
+// the paper's test-factor envelope.
+func randomSystem(seed int64) (*thermalsched.System, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 6 + rng.Intn(19)
+	fp, err := thermalsched.RandomFloorplan(thermalsched.RandomFloorplanOptions{
+		Blocks: n,
+		Seed:   seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	functional := make([]float64, n)
+	factors := make([]float64, n)
+	for i := 0; i < n; i++ {
+		density := (0.15 + 0.5*rng.Float64()) * 1e6 // W/m²
+		functional[i] = density * fp.Block(i).Area()
+		factors[i] = 1.5 + 2*rng.Float64()
+	}
+	prof, err := thermalsched.PowerFromFactors(fp, functional, factors)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := thermalsched.UniformTestSpec("pipeline", prof, 1)
+	if err != nil {
+		return nil, err
+	}
+	return thermalsched.NewSystem(spec, thermalsched.DefaultPackage())
+}
+
+// TestPipelinePropertyRandomSoCs is the whole-pipeline invariant check: for
+// arbitrary seeds, floorplan generation → power assignment → thermal model →
+// Algorithm 1 must yield a schedule that (a) validates, (b) is thermal-safe
+// under independent re-simulation, (c) spends at least as much simulation
+// effort as its length, and (d) survives a serialisation round trip.
+func TestPipelinePropertyRandomSoCs(t *testing.T) {
+	f := func(seed int64) bool {
+		sys, err := randomSystem(seed)
+		if err != nil {
+			t.Logf("seed %d: system: %v", seed, err)
+			return false
+		}
+		res, err := sys.GenerateSchedule(thermalsched.ScheduleConfig{
+			TL: 150, STCL: 60, AutoRaiseTL: true,
+		})
+		if err != nil {
+			t.Logf("seed %d: generate: %v", seed, err)
+			return false
+		}
+		if err := res.Schedule.Validate(sys.Spec()); err != nil {
+			t.Logf("seed %d: validate: %v", seed, err)
+			return false
+		}
+		viol, peak, err := sys.CheckSchedule(res.Schedule, res.EffectiveTL)
+		if err != nil || len(viol) != 0 {
+			t.Logf("seed %d: %d violations (peak %.1f, TL %.1f), err %v",
+				seed, len(viol), peak, res.EffectiveTL, err)
+			return false
+		}
+		if res.Effort < res.Length {
+			t.Logf("seed %d: effort %g < length %g", seed, res.Effort, res.Length)
+			return false
+		}
+		text := thermalsched.FormatSchedule(res.Schedule, sys.Spec())
+		back, err := thermalsched.ParseSchedule(strings.NewReader(text), sys.Spec())
+		if err != nil {
+			t.Logf("seed %d: reparse: %v", seed, err)
+			return false
+		}
+		return back.NumSessions() == res.Schedule.NumSessions()
+	}
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(12345)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScheduleRoundTripThroughFacade pins the save/load contract the CLI
+// relies on.
+func TestScheduleRoundTripThroughFacade(t *testing.T) {
+	sys := alphaSystem(t)
+	res, err := sys.GenerateSchedule(thermalsched.ScheduleConfig{TL: 165, STCL: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := thermalsched.FormatSchedule(res.Schedule, sys.Spec())
+	back, err := thermalsched.ParseSchedule(strings.NewReader(text), sys.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The round-tripped schedule must check out identically.
+	viol, peak, err := sys.CheckSchedule(back, 165)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) != 0 {
+		t.Errorf("round-tripped schedule has violations")
+	}
+	if peak != res.MaxTemp {
+		t.Errorf("round-tripped peak %.4f != original %.4f", peak, res.MaxTemp)
+	}
+}

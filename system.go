@@ -1,0 +1,135 @@
+package thermalsched
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/testspec"
+	"repro/internal/thermal"
+)
+
+// System bundles everything needed to schedule one SoC: the test spec, the
+// full thermal model, the reduced session model and the simulation oracle.
+// It is immutable after construction and safe for concurrent use.
+type System struct {
+	spec   *testspec.Spec
+	model  *thermal.Model
+	sm     *core.SessionModel
+	oracle *core.SimOracle
+}
+
+// NewSystem builds a System for a test spec under a package configuration.
+func NewSystem(spec *TestSpec, cfg PackageConfig) (*System, error) {
+	model, err := thermal.NewModel(spec.Floorplan(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("thermalsched: building thermal model: %w", err)
+	}
+	sm, err := core.NewSessionModel(model, spec.Profile(), 0)
+	if err != nil {
+		return nil, fmt.Errorf("thermalsched: building session model: %w", err)
+	}
+	return &System{
+		spec:   spec,
+		model:  model,
+		sm:     sm,
+		oracle: core.NewSimOracle(model, spec.Profile()),
+	}, nil
+}
+
+// Spec returns the test spec.
+func (s *System) Spec() *TestSpec { return s.spec }
+
+// Model returns the full RC thermal model.
+func (s *System) Model() *ThermalModel { return s.model }
+
+// SessionModel returns the reduced session thermal model.
+func (s *System) SessionModel() *SessionModel { return s.sm }
+
+// GenerateSchedule runs the paper's Algorithm 1 and returns the thermal-safe
+// schedule plus its effort accounting.
+func (s *System) GenerateSchedule(cfg ScheduleConfig) (*ScheduleResult, error) {
+	return core.Generate(s.spec, s.sm, s.oracle, cfg)
+}
+
+// SimulateSession returns the steady-state temperature field when exactly
+// the cores in active are testing (all others idle).
+func (s *System) SimulateSession(active []int) (*SteadyResult, error) {
+	pm, err := s.spec.Profile().TestPowerMap(active)
+	if err != nil {
+		return nil, err
+	}
+	return s.model.SteadyState(pm)
+}
+
+// SimulateSessionTransient integrates the session's thermal transient from
+// ambient.
+func (s *System) SimulateSessionTransient(active []int, opts TransientOptions) (*TransientResult, error) {
+	pm, err := s.spec.Profile().TestPowerMap(active)
+	if err != nil {
+		return nil, err
+	}
+	return s.model.Transient(pm, opts)
+}
+
+// SessionMaxTemp returns the hottest active-core temperature of a session
+// (°C) — the quantity compared against TL.
+func (s *System) SessionMaxTemp(active []int) (float64, error) {
+	temps, err := s.oracle.BlockTemps(active)
+	if err != nil {
+		return 0, err
+	}
+	mx := math.Inf(-1)
+	for _, c := range active {
+		mx = math.Max(mx, temps[c])
+	}
+	return mx, nil
+}
+
+// STC evaluates the session thermal characteristic of a candidate session
+// with unit weights — the cheap score Algorithm 1 packs against.
+func (s *System) STC(active []int) (float64, error) {
+	return s.sm.STC(active, nil)
+}
+
+// SequentialSchedule returns the trivially safe one-core-per-session
+// schedule.
+func (s *System) SequentialSchedule() Schedule {
+	return baseline.Sequential(s.spec)
+}
+
+// PowerConstrainedSchedule runs the classic greedy power-capped scheduler
+// (first-fit decreasing under a chip power budget in watts).
+func (s *System) PowerConstrainedSchedule(budget float64) (Schedule, error) {
+	return baseline.GreedyPower(s.spec, budget)
+}
+
+// OptimalPowerSchedule returns the minimum-session schedule under the power
+// budget (exact subset DP; core count limited, uniform test lengths only).
+func (s *System) OptimalPowerSchedule(budget float64) (Schedule, error) {
+	return baseline.OptimalPower(s.spec, budget)
+}
+
+// CheckSchedule simulates every session of a schedule and reports the ones
+// that reach or exceed tl, plus the schedule's peak temperature.
+func (s *System) CheckSchedule(sc Schedule, tl float64) ([]SessionViolation, float64, error) {
+	checker := baseline.ThermalChecker{BlockTemps: s.oracle.BlockTemps}
+	return checker.Check(sc, tl)
+}
+
+// NewSession builds a session from core indices (validated).
+func NewSession(cores ...int) (Session, error) { return schedule.NewSession(cores...) }
+
+// NewSchedule builds a schedule from sessions.
+func NewSchedule(sessions ...Session) Schedule { return schedule.New(sessions...) }
+
+// FormatSchedule renders a schedule in the line-oriented text form
+// ParseSchedule reads back ("TS1: C2 C3 C4").
+func FormatSchedule(sc Schedule, spec *TestSpec) string { return schedule.Format(sc, spec) }
+
+// ParseSchedule reads the FormatSchedule representation and validates it
+// against spec (every core exactly once).
+func ParseSchedule(r io.Reader, spec *TestSpec) (Schedule, error) { return schedule.Parse(r, spec) }

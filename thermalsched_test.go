@@ -1,0 +1,185 @@
+package thermalsched_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	thermalsched "repro"
+)
+
+func alphaSystem(t *testing.T) *thermalsched.System {
+	t.Helper()
+	sys, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestEndToEndGenerate(t *testing.T) {
+	sys := alphaSystem(t)
+	res, err := sys.GenerateSchedule(thermalsched.ScheduleConfig{TL: 165, STCL: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(sys.Spec()); err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxTemp >= 165 {
+		t.Errorf("MaxTemp %.2f >= TL", res.MaxTemp)
+	}
+	if res.Length <= 0 || res.Effort < res.Length {
+		t.Errorf("implausible length %g / effort %g", res.Length, res.Effort)
+	}
+	// Re-check through the public checker: zero violations.
+	viol, peak, err := sys.CheckSchedule(res.Schedule, 165)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) != 0 {
+		t.Errorf("generator schedule has %d violations via CheckSchedule", len(viol))
+	}
+	if math.Abs(peak-res.MaxTemp) > 1e-9 {
+		t.Errorf("peak %.4f != result MaxTemp %.4f", peak, res.MaxTemp)
+	}
+}
+
+func TestSystemAccessorsAndSimulation(t *testing.T) {
+	sys := alphaSystem(t)
+	if sys.Spec().NumCores() != 15 {
+		t.Fatal("spec lost cores")
+	}
+	if sys.Model().NumBlocks() != 15 {
+		t.Fatal("model lost blocks")
+	}
+	if sys.SessionModel().NumCores() != 15 {
+		t.Fatal("session model lost cores")
+	}
+	res, err := sys.SimulateSession([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxTemp() <= thermalsched.DefaultPackage().Ambient {
+		t.Error("simulated session not above ambient")
+	}
+	mx, err := sys.SessionMaxTemp([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SessionMaxTemp is over active cores only, ≤ global max.
+	if mx > res.MaxTemp()+1e-9 {
+		t.Errorf("SessionMaxTemp %.2f above global max %.2f", mx, res.MaxTemp())
+	}
+	stc, err := sys.STC([]int{0, 1})
+	if err != nil || stc <= 0 {
+		t.Errorf("STC = %g, %v", stc, err)
+	}
+	tr, err := sys.SimulateSessionTransient([]int{0}, thermalsched.TransientOptions{Duration: 1, Step: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FinalMaxTemp() <= thermalsched.DefaultPackage().Ambient {
+		t.Error("transient did not heat up")
+	}
+}
+
+func TestBaselinesThroughFacade(t *testing.T) {
+	sys := alphaSystem(t)
+	seq := sys.SequentialSchedule()
+	if seq.NumSessions() != 15 {
+		t.Errorf("sequential sessions = %d", seq.NumSessions())
+	}
+	pc, err := sys.PowerConstrainedSchedule(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Validate(sys.Spec()); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := sys.OptimalPowerSchedule(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumSessions() > pc.NumSessions() {
+		t.Error("optimal worse than greedy")
+	}
+}
+
+func TestFloorplanHelpers(t *testing.T) {
+	fp := thermalsched.Alpha21364Floorplan()
+	text := thermalsched.FormatFloorplan(fp)
+	back, err := thermalsched.ParseFloorplan(strings.NewReader(text), "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumBlocks() != fp.NumBlocks() {
+		t.Error("floorplan round trip lost blocks")
+	}
+	rnd, err := thermalsched.RandomFloorplan(thermalsched.RandomFloorplanOptions{Blocks: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd.NumBlocks() != 9 {
+		t.Error("random floorplan wrong size")
+	}
+	if thermalsched.Figure1Floorplan().NumBlocks() != 7 {
+		t.Error("figure1 floorplan wrong size")
+	}
+}
+
+func TestCustomWorkloadThroughFacade(t *testing.T) {
+	fp, err := thermalsched.RandomFloorplan(thermalsched.RandomFloorplanOptions{Blocks: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fp.NumBlocks()
+	functional := make([]float64, n)
+	factors := make([]float64, n)
+	for i := range functional {
+		functional[i] = 4
+		factors[i] = 2
+	}
+	prof, err := thermalsched.PowerFromFactors(fp, functional, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := thermalsched.UniformTestSpec("custom", prof, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := thermalsched.NewSystem(spec, thermalsched.DefaultPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.GenerateSchedule(thermalsched.ScheduleConfig{TL: 120, STCL: 60, AutoRaiseTL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-second tests: length must be 2 × sessions.
+	if res.Length != float64(2*res.Schedule.NumSessions()) {
+		t.Errorf("length %g != 2 × %d sessions", res.Length, res.Schedule.NumSessions())
+	}
+	// Effort counts whole sessions of 2 s.
+	if res.Effort < res.Length || math.Mod(res.Effort, 2) != 0 {
+		t.Errorf("effort %g not a multiple of the 2 s session length", res.Effort)
+	}
+}
+
+func TestSessionScheduleConstructors(t *testing.T) {
+	s1, err := thermalsched.NewSession(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := thermalsched.NewSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := thermalsched.NewSchedule(s1, s2)
+	if sc.NumSessions() != 2 {
+		t.Error("NewSchedule lost sessions")
+	}
+	if _, err := thermalsched.NewSession(); err == nil {
+		t.Error("empty session should fail")
+	}
+}
