@@ -11,6 +11,7 @@ package thermalsched_test
 
 import (
 	"testing"
+	"time"
 
 	thermalsched "repro"
 	"repro/internal/core"
@@ -84,6 +85,48 @@ func BenchmarkTable1(b *testing.B) {
 		pass = 1
 	}
 	b.ReportMetric(pass, "claims_pass")
+}
+
+// BenchmarkTable1ColdCache regenerates the 9×9 grid with a fresh environment
+// (and therefore an empty oracle memo table) every iteration — the honest
+// apples-to-apples number against engines without memoization.
+func BenchmarkTable1ColdCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env := mustEnv(b)
+		b.StartTimer()
+		if _, err := experiments.RunTable1(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Parallel regenerates the grid with the worker-pool sweep
+// from a cold cache each iteration, and reports the wall-clock speedup over
+// one cold serial run measured in the same process. On a single-CPU host the
+// pool degrades to the serial path and the speedup hovers around 1×.
+func BenchmarkTable1Parallel(b *testing.B) {
+	serialEnv := mustEnv(b)
+	start := time.Now()
+	if _, err := experiments.RunTable1(serialEnv); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(start)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env := mustEnv(b)
+		env.Parallel = true
+		b.StartTimer()
+		if _, err := experiments.RunTable1(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := b.Elapsed() / time.Duration(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(serial)/float64(perOp), "speedup_x")
+	}
 }
 
 // BenchmarkAblationWeights sweeps the weight growth factor (A1).
@@ -220,8 +263,11 @@ func BenchmarkGenerator(b *testing.B) {
 	}
 }
 
-// BenchmarkTransient measures a 1 s Crank–Nicolson transient of one session.
-func BenchmarkTransient(b *testing.B) {
+// BenchmarkTransientCN measures a 1 s Crank–Nicolson transient of one
+// session (200 steps). Run with -benchmem: the hot loop reuses the cached
+// (A-factorization, sparse B) pair and a single RHS buffer, so allocs/op is
+// dominated by the trace and result bookkeeping, not the integrator.
+func BenchmarkTransientCN(b *testing.B) {
 	sys, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
 	if err != nil {
 		b.Fatal(err)
@@ -230,6 +276,41 @@ func BenchmarkTransient(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.SimulateSessionTransient([]int{0, 3}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransientRK4 measures the explicit cross-check integrator over a
+// short horizon (its stability-limited step makes long horizons impractical).
+func BenchmarkTransientRK4(b *testing.B) {
+	sys, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := thermalsched.TransientOptions{Duration: 0.02, Integrator: thermalsched.RK4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SimulateSessionTransient([]int{0, 3}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedOracle measures a memoized oracle hit — the cost every
+// repeated session query pays after its first simulation.
+func BenchmarkCachedOracle(b *testing.B) {
+	env, err := experiments.AlphaEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	active := []int{0, 3, 5, 8}
+	if _, err := env.Oracle.BlockTemps(active); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Oracle.BlockTemps(active); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -20,16 +20,18 @@ func main() {
 	var (
 		which = flag.String("run", "all",
 			"experiment: all, fig1, fig5, table1, claims, weights, ordering, fidelity, baseline, scaling, oracle, gap, gridcheck")
+		parallel = flag.Bool("parallel", false,
+			"fan experiment sweeps across GOMAXPROCS goroutines (tables are byte-identical to serial runs)")
 	)
 	flag.Parse()
 
-	if err := run(*which); err != nil {
+	if err := run(*which, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string) error {
+func run(which string, parallel bool) error {
 	wants := func(name string) bool { return which == "all" || which == name }
 	ran := false
 
@@ -55,6 +57,7 @@ func run(which string) error {
 		if err != nil {
 			return err
 		}
+		env.Parallel = parallel
 	}
 
 	if wants("fig5") {
@@ -139,7 +142,7 @@ func run(which string) error {
 	}
 	if wants("scaling") {
 		ran = true
-		res, err := experiments.RunScaling([]int{15, 30, 60, 120}, 11)
+		res, err := experiments.RunScaling([]int{15, 30, 60, 120}, 11, parallel)
 		if err != nil {
 			return err
 		}
@@ -148,6 +151,14 @@ func run(which string) error {
 
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)
+	}
+	if env != nil {
+		hits, misses := env.Oracle.Stats()
+		total := hits + misses
+		if total > 0 {
+			fmt.Printf("oracle cache: %d queries, %d simulated, %d served from cache (%.1f%% hit rate)\n",
+				total, misses, hits, 100*float64(hits)/float64(total))
+		}
 	}
 	return nil
 }

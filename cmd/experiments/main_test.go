@@ -9,14 +9,14 @@ func TestRunSingleExperiments(t *testing.T) {
 	// "all" is exercised implicitly by the individual runs; keep the test
 	// fast by running the cheap artifacts individually.
 	for _, which := range []string{"fig1", "claims", "fidelity", "baseline"} {
-		if err := run(which); err != nil {
+		if err := run(which, which == "baseline"); err != nil {
 			t.Errorf("run(%q): %v", which, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus"); err == nil {
+	if err := run("bogus", false); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }

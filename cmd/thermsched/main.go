@@ -84,7 +84,7 @@ func run(workload, flpPath, specPath string, tl, stcl, growth float64,
 	if err != nil {
 		return err
 	}
-	res, err := core.Generate(spec, sm, core.NewSimOracle(model, spec.Profile()), core.Config{
+	res, err := core.Generate(spec, sm, core.NewCachedOracle(core.NewSimOracle(model, spec.Profile())), core.Config{
 		TL:           tl,
 		STCL:         stcl,
 		WeightGrowth: growth,

@@ -28,7 +28,10 @@ func (s *System) GenerateScheduleTransient(cfg ScheduleConfig, step float64) (*S
 	if err != nil {
 		return nil, err
 	}
-	return core.Generate(s.spec, s.sm, oracle, cfg)
+	// Memoize within the run: forced singletons re-pose their phase-1 solo
+	// query, and transient validations are the most expensive oracle calls
+	// in the codebase.
+	return core.Generate(s.spec, s.sm, core.NewCachedOracle(oracle), cfg)
 }
 
 // OptimalThermalSchedule returns the provably minimum-session thermal-safe

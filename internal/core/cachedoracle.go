@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// CachedOracle memoizes an inner Oracle's BlockTemps answers by active set.
+// The oracle contract requires determinism, so a session's temperature field
+// depends only on *which* cores are active, never on query order — exactly
+// the property the experiment sweeps waste today by re-simulating the same
+// sessions for every (TL, STCL) grid cell (the 15 phase-1 solo simulations
+// alone are repeated once per cell).
+//
+// Active sets whose cores all fit in [0, 64) are keyed by bitmask; anything
+// else falls back to a canonical sorted-index string, so arbitrarily large
+// floorplans still cache correctly.
+//
+// CachedOracle is safe for concurrent use. Concurrent misses on the same key
+// are deduplicated: exactly one goroutine runs the inner simulation while the
+// others wait for its result, which keeps the hit/miss counters deterministic
+// (misses == distinct active sets ever queried) regardless of scheduling.
+// Errors are memoized alongside results — the inner oracle is deterministic,
+// so retrying a failed key would only repeat the failure.
+type CachedOracle struct {
+	inner Oracle
+
+	mu    sync.Mutex
+	small map[uint64]*cacheEntry
+	big   map[string]*cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// cacheEntry is one memoized answer; once gates the single inner simulation.
+type cacheEntry struct {
+	once  sync.Once
+	temps []float64
+	err   error
+}
+
+// NewCachedOracle wraps inner with a concurrency-safe memo table.
+func NewCachedOracle(inner Oracle) *CachedOracle {
+	return &CachedOracle{
+		inner: inner,
+		small: make(map[uint64]*cacheEntry),
+		big:   make(map[string]*cacheEntry),
+	}
+}
+
+// maskKey packs an active set into a bitmask when every core fits in [0, 64).
+func maskKey(active []int) (uint64, bool) {
+	var mask uint64
+	for _, c := range active {
+		if c < 0 || c >= 64 {
+			return 0, false
+		}
+		mask |= 1 << uint(c)
+	}
+	return mask, true
+}
+
+// stringKey canonicalises an active set into a sorted comma-joined string.
+func stringKey(active []int) string {
+	sorted := append([]int(nil), active...)
+	sort.Ints(sorted)
+	var sb strings.Builder
+	for i, c := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(c))
+	}
+	return sb.String()
+}
+
+// entryFor returns the cache entry for the active set, creating it on first
+// sight, and reports whether it already existed.
+func (c *CachedOracle) entryFor(active []int) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if mask, ok := maskKey(active); ok {
+		if e, ok := c.small[mask]; ok {
+			return e, true
+		}
+		e := &cacheEntry{}
+		c.small[mask] = e
+		return e, false
+	}
+	key := stringKey(active)
+	if e, ok := c.big[key]; ok {
+		return e, true
+	}
+	e := &cacheEntry{}
+	c.big[key] = e
+	return e, false
+}
+
+// BlockTemps implements Oracle. Results are returned as a fresh copy so
+// callers may mutate them freely without corrupting the cache.
+func (c *CachedOracle) BlockTemps(active []int) ([]float64, error) {
+	e, hit := c.entryFor(active)
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() {
+		e.temps, e.err = c.inner.BlockTemps(active)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	out := make([]float64, len(e.temps))
+	copy(out, e.temps)
+	return out, nil
+}
+
+// Hits returns how many queries were answered from the cache.
+func (c *CachedOracle) Hits() int64 { return c.hits.Load() }
+
+// Misses returns how many queries ran the inner simulation — one per
+// distinct active set.
+func (c *CachedOracle) Misses() int64 { return c.misses.Load() }
+
+// Stats returns (hits, misses) as one consistent-enough snapshot for
+// reporting.
+func (c *CachedOracle) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+var _ Oracle = (*CachedOracle)(nil)

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCachedOracleKeysIgnoreOrder(t *testing.T) {
+	_, _, oracle := alphaGenSetup(t)
+	counting := &CountingOracle{Inner: oracle}
+	cached := NewCachedOracle(counting)
+
+	a, err := cached.BlockTemps([]int{0, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cached.BlockTemps([]int{5, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("permuted active set changed temps at block %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+	if counting.Calls() != 1 {
+		t.Errorf("inner calls = %d, want 1 (order-insensitive key)", counting.Calls())
+	}
+	if h, m := cached.Stats(); h != 1 || m != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", h, m)
+	}
+}
+
+func TestCachedOracleReturnsCopies(t *testing.T) {
+	_, _, oracle := alphaGenSetup(t)
+	cached := NewCachedOracle(oracle)
+	a, err := cached.BlockTemps([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a[0] = -1000
+	b, err := cached.BlockTemps([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] == -1000 {
+		t.Error("cache handed out its internal slice; mutation leaked")
+	}
+}
+
+func TestCachedOracleBigSetFallback(t *testing.T) {
+	// Cores >= 64 cannot be bitmask-keyed; the canonical-string fallback must
+	// still dedupe permutations.
+	n := 80
+	solo := make([]float64, n)
+	for i := range solo {
+		solo[i] = 100 + float64(i)
+	}
+	inner := &CountingOracle{Inner: &fakeOracle{solo: solo, coupling: 1, ambient: 45}}
+	cached := NewCachedOracle(inner)
+	if _, err := cached.BlockTemps([]int{70, 2, 65}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.BlockTemps([]int{65, 70, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Calls() != 1 {
+		t.Errorf("inner calls = %d, want 1 via string key", inner.Calls())
+	}
+}
+
+func TestCachedOracleMemoizesErrors(t *testing.T) {
+	_, _, oracle := alphaGenSetup(t)
+	failing := &failingOracle{inner: oracle, after: 0}
+	cached := NewCachedOracle(failing)
+	if _, err := cached.BlockTemps([]int{1}); err == nil {
+		t.Fatal("expected propagated error")
+	}
+	if _, err := cached.BlockTemps([]int{1}); err == nil {
+		t.Fatal("expected memoized error")
+	}
+	if got := failing.calls.Load(); got != 1 {
+		t.Errorf("inner calls = %d, want 1 (errors memoized, no retry storm)", got)
+	}
+}
+
+func TestCachedOracleConcurrentDedup(t *testing.T) {
+	// Many goroutines hammer the same small set of keys; the inner oracle
+	// must run exactly once per distinct key and every caller must see the
+	// same temperatures.
+	_, _, oracle := alphaGenSetup(t)
+	counting := &CountingOracle{Inner: oracle}
+	cached := NewCachedOracle(counting)
+
+	sessions := [][]int{{0}, {1}, {0, 1}, {2, 7, 11}, {3, 4}}
+	want := make([][]float64, len(sessions))
+	for i, s := range sessions {
+		temps, err := oracle.BlockTemps(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = temps
+	}
+	counting.calls.Store(0)
+
+	const goroutines = 16
+	const rounds = 50
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(sessions)
+				temps, err := cached.BlockTemps(sessions[i])
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+				for k := range temps {
+					if math.Abs(temps[k]-want[i][k]) > 1e-12 {
+						failures.Add(1)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d goroutines saw wrong temps or errors", failures.Load())
+	}
+	if counting.Calls() != int64(len(sessions)) {
+		t.Errorf("inner calls = %d, want %d (one per distinct key)", counting.Calls(), len(sessions))
+	}
+	h, m := cached.Stats()
+	if m != int64(len(sessions)) {
+		t.Errorf("misses = %d, want %d (deterministic under concurrency)", m, len(sessions))
+	}
+	if h+m != goroutines*rounds {
+		t.Errorf("hits+misses = %d, want %d", h+m, goroutines*rounds)
+	}
+}
+
+func TestCachedOracleAccountingUnderGenerator(t *testing.T) {
+	// Two identical generator runs through one shared cache: the second run
+	// must be answered entirely from the cache, and the per-run query count
+	// must match the generator's own effort accounting.
+	spec, sm, oracle := alphaGenSetup(t)
+	cached := NewCachedOracle(oracle)
+	cfg := Config{TL: 165, STCL: 60}
+
+	first, err := Generate(spec, sm, cached, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := cached.Stats()
+	queries := int64(spec.NumCores() + first.Attempts)
+	if h1+m1 != queries {
+		t.Errorf("first run: hits+misses = %d, want %d oracle queries", h1+m1, queries)
+	}
+	if m1 == 0 || m1 > queries {
+		t.Errorf("first run: misses = %d out of %d queries", m1, queries)
+	}
+
+	second, err := Generate(spec, sm, cached, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, m2 := cached.Stats()
+	if m2 != m1 {
+		t.Errorf("second identical run simulated %d new sessions, want 0", m2-m1)
+	}
+	if h2-h1 != queries {
+		t.Errorf("second run: %d hits, want all %d queries cached", h2-h1, queries)
+	}
+	if first.Schedule.Describe(spec) != second.Schedule.Describe(spec) {
+		t.Error("cached run produced a different schedule")
+	}
+}
+
+func TestCountingOracleConcurrent(t *testing.T) {
+	// The atomic counter must survive concurrent callers without losing
+	// increments (this is a data race with a plain int field; run under
+	// -race in CI).
+	_, _, oracle := alphaGenSetup(t)
+	counting := &CountingOracle{Inner: oracle}
+	const goroutines = 8
+	const calls = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				if _, err := counting.BlockTemps([]int{g % 15}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if counting.Calls() != goroutines*calls {
+		t.Errorf("calls = %d, want %d", counting.Calls(), goroutines*calls)
+	}
+}
+
+func TestCachedOracleErrorsAreErrors(t *testing.T) {
+	// Sanity: a cached error still matches errors.Is/As chains.
+	inner := &failingOracle{inner: nil, after: 0}
+	cached := NewCachedOracle(inner)
+	_, err := cached.BlockTemps([]int{0})
+	if err == nil || !errors.Is(err, err) {
+		t.Fatal("expected an error value")
+	}
+}

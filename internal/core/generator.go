@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 
+	"repro/internal/conc"
 	"repro/internal/schedule"
 	"repro/internal/testspec"
 )
@@ -33,6 +35,13 @@ type Config struct {
 	// MaxAttempts bounds the number of candidate-session simulations as a
 	// safety valve; 0 → 100000.
 	MaxAttempts int
+	// Phase1Workers caps the goroutines fanning out the phase-1 solo
+	// simulations. 0 → GOMAXPROCS; 1 → fully serial (use this with an
+	// oracle that is not safe for concurrent use, or when the caller
+	// already saturates the cores — e.g. a parallel experiment sweep
+	// running one generator per worker). Results and errors are identical
+	// at any worker count.
+	Phase1Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -168,18 +177,19 @@ func (g *Generator) Run() (*Result, error) {
 		FinalWeights: make([]float64, n),
 	}
 
-	// Phase 1 (lines 1–7): per-core solo simulation, BCMT check.
+	// Phase 1 (lines 1–7): per-core solo simulation, BCMT check. The n solo
+	// simulations are independent, so they fan out across GOMAXPROCS
+	// goroutines; results land in per-core slots, keeping everything that
+	// follows deterministic.
+	if err := g.runPhase1(n, res.BCMT); err != nil {
+		return nil, err
+	}
 	var violation BCMTViolationError
 	for i := 0; i < n; i++ {
-		temps, err := g.oracle.BlockTemps([]int{i})
-		if err != nil {
-			return nil, fmt.Errorf("core: phase-1 simulation of core %d: %w", i, err)
-		}
-		res.BCMT[i] = temps[i]
-		if temps[i] >= g.cfg.TL {
+		if res.BCMT[i] >= g.cfg.TL {
 			violation.Cores = append(violation.Cores, i)
 			violation.Names = append(violation.Names, g.spec.Test(i).Name)
-			violation.Temps = append(violation.Temps, temps[i])
+			violation.Temps = append(violation.Temps, res.BCMT[i])
 		}
 	}
 	if len(violation.Cores) > 0 {
@@ -211,13 +221,10 @@ func (g *Generator) Run() (*Result, error) {
 	}
 
 	sched := schedule.New()
+	builder := newSessionBuilder(g.sm)
 	sessionAttempts := 0
 	for left > 0 {
-		session, err := g.buildSession(order, remaining, weights, &res.ForcedSingletons)
-		if err != nil {
-			return nil, err
-		}
-		stc, err := g.sm.STC(session, weights)
+		session, stc, err := g.buildSession(builder, order, remaining, weights, &res.ForcedSingletons)
 		if err != nil {
 			return nil, err
 		}
@@ -281,28 +288,46 @@ func (g *Generator) Run() (*Result, error) {
 	return res, nil
 }
 
+// runPhase1 fills bcmt with each core's solo steady-state temperature,
+// fanning the independent simulations across Config.Phase1Workers
+// goroutines (0 → GOMAXPROCS). On failure the lowest-index error is
+// reported, matching the serial loop.
+func (g *Generator) runPhase1(n int, bcmt []float64) error {
+	workers := g.cfg.Phase1Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	temps, err := conc.Sweep(workers, n, func(i int) (float64, error) {
+		field, err := g.oracle.BlockTemps([]int{i})
+		if err != nil {
+			return 0, fmt.Errorf("core: phase-1 simulation of core %d: %w", i, err)
+		}
+		return field[i], nil
+	})
+	if err != nil {
+		return err
+	}
+	copy(bcmt, temps)
+	return nil
+}
+
 // buildSession implements lines 9–15: scan the unscheduled cores in candidate
 // order and greedily add every core that keeps STC(TS ∪ {Ci}) ≤ STCL.
 // When nothing fits (weights have outgrown STCL), it forces the least-hot
-// singleton to preserve liveness.
-func (g *Generator) buildSession(order []int, remaining []bool, weights []float64,
-	forced *int) ([]int, error) {
-	var session []int
+// singleton to preserve liveness. The returned slice aliases the builder and
+// is only valid until the next call; the second return is the committed
+// session's weighted STC.
+func (g *Generator) buildSession(b *sessionBuilder, order []int, remaining []bool,
+	weights []float64, forced *int) ([]int, float64, error) {
+	b.reset()
 	for _, c := range order {
 		if !remaining[c] {
 			continue
 		}
-		candidate := append(append([]int(nil), session...), c)
-		stc, err := g.sm.STC(candidate, weights)
-		if err != nil {
-			return nil, err
-		}
-		if stc <= g.cfg.STCL {
-			session = candidate
-		}
+		b.tryAdd(c, weights, g.cfg.STCL)
 	}
-	if len(session) > 0 {
-		return session, nil
+	if len(b.members) > 0 {
+		return b.members, b.maxTerm, nil
 	}
 	// Liveness guard: force the single unscheduled core with the smallest
 	// weighted solo STC.
@@ -311,19 +336,16 @@ func (g *Generator) buildSession(order []int, remaining []bool, weights []float6
 		if !remaining[c] {
 			continue
 		}
-		stc, err := g.sm.STC([]int{c}, weights)
-		if err != nil {
-			return nil, err
-		}
-		if stc < bestSTC {
+		if stc := b.soloTerm(c, weights); stc < bestSTC {
 			best, bestSTC = c, stc
 		}
 	}
 	if best < 0 {
-		return nil, fmt.Errorf("%w: buildSession called with no remaining cores", ErrCore)
+		return nil, 0, fmt.Errorf("%w: buildSession called with no remaining cores", ErrCore)
 	}
 	*forced++
-	return []int{best}, nil
+	b.forceSingleton(best, weights)
+	return b.members, b.maxTerm, nil
 }
 
 // Generate is the one-call convenience wrapper: build the generator and run

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/testspec"
@@ -31,16 +32,16 @@ func (f *fakeOracle) BlockTemps(active []int) ([]float64, error) {
 	return temps, nil
 }
 
-// failingOracle errors on the k-th call.
+// failingOracle errors on the k-th call. The counter is atomic because the
+// generator's phase-1 loop queries the oracle from multiple goroutines.
 type failingOracle struct {
 	inner Oracle
-	after int
-	calls int
+	after int64
+	calls atomic.Int64
 }
 
 func (f *failingOracle) BlockTemps(active []int) ([]float64, error) {
-	f.calls++
-	if f.calls > f.after {
+	if f.calls.Add(1) > f.after {
 		return nil, errors.New("synthetic oracle failure")
 	}
 	return f.inner.BlockTemps(active)
@@ -318,9 +319,9 @@ func TestCountingOracleMatchesAttempts(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Oracle calls = phase-1 solos + validation attempts.
-	want := spec.NumCores() + res.Attempts
-	if counting.Calls != want {
-		t.Errorf("oracle calls = %d, want %d", counting.Calls, want)
+	want := int64(spec.NumCores() + res.Attempts)
+	if counting.Calls() != want {
+		t.Errorf("oracle calls = %d, want %d", counting.Calls(), want)
 	}
 }
 
@@ -435,5 +436,30 @@ func TestNewTransientOracleValidation(t *testing.T) {
 	}
 	if !(ts[0] < ss[0]) {
 		t.Errorf("1 s transient %.2f not below steady bound %.2f", ts[0], ss[0])
+	}
+}
+
+func TestPhase1WorkersEquivalent(t *testing.T) {
+	// Serial, default (GOMAXPROCS) and over-provisioned phase-1 pools must
+	// produce identical results.
+	spec, sm, oracle := alphaGenSetup(t)
+	var ref *Result
+	for _, workers := range []int{1, 0, 64} {
+		res, err := Generate(spec, sm, oracle, Config{TL: 165, STCL: 60, Phase1Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Schedule.Describe(spec) != ref.Schedule.Describe(spec) {
+			t.Errorf("workers=%d produced a different schedule", workers)
+		}
+		for i, b := range res.BCMT {
+			if b != ref.BCMT[i] {
+				t.Errorf("workers=%d: BCMT[%d] = %g != %g", workers, i, b, ref.BCMT[i])
+			}
+		}
 	}
 }

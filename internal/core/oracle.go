@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/power"
 	"repro/internal/thermal"
 )
@@ -10,8 +12,10 @@ import (
 // every block (°C). The generator treats it as expensive and minimises calls
 // to it; the session model exists precisely to avoid invoking it blindly.
 //
-// Implementations must be deterministic. The production implementation is
-// SimOracle; tests substitute cheap fakes.
+// Implementations must be deterministic and safe for concurrent use: the
+// generator fans its phase-1 solo simulations across goroutines, and the
+// experiment sweeps share one oracle across grid cells. The production
+// implementation is SimOracle; tests substitute cheap fakes.
 type Oracle interface {
 	BlockTemps(active []int) ([]float64, error)
 }
@@ -45,13 +49,18 @@ func (o *SimOracle) BlockTemps(active []int) ([]float64, error) {
 
 // CountingOracle wraps an Oracle and counts calls — used by tests and by the
 // experiment harness to cross-check the generator's own effort accounting.
+// The counter is atomic, so a CountingOracle may sit under the parallel
+// phase-1 loop or a concurrent sweep without racing.
 type CountingOracle struct {
 	Inner Oracle
-	Calls int
+	calls atomic.Int64
 }
 
 // BlockTemps implements Oracle.
 func (c *CountingOracle) BlockTemps(active []int) ([]float64, error) {
-	c.Calls++
+	c.calls.Add(1)
 	return c.Inner.BlockTemps(active)
 }
+
+// Calls returns the number of BlockTemps invocations so far.
+func (c *CountingOracle) Calls() int64 { return c.calls.Load() }

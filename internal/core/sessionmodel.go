@@ -23,6 +23,7 @@ var ErrCore = errors.New("core: invalid argument")
 type lateralEdge struct {
 	to int
 	r  float64 // K/W
+	g  float64 // 1/r, W/K — precomputed for the incremental session builder
 }
 
 // SessionModel is the paper's reduced test-session thermal model, built once
@@ -37,6 +38,13 @@ type SessionModel struct {
 	rim   []float64       // die-boundary path, K/W (+Inf for interior cores)
 	lat   [][]lateralEdge // lateral resistances to neighbours
 	names []string
+
+	// Precomputed conductance sums for the O(degree) incremental session
+	// builder: gBase is the always-grounded part (vertical + rim paths) and
+	// latTotal the sum of all lateral conductances, so a core's equivalent
+	// conductance in any session is gBase + latTotal − Σ active-neighbour g.
+	gBase    []float64 // W/K
+	latTotal []float64 // W/K
 }
 
 // NewSessionModel derives the reduced model from the full RC model and a
@@ -54,13 +62,15 @@ func NewSessionModel(m *thermal.Model, prof *power.Profile, scale float64) (*Ses
 	}
 	n := m.NumBlocks()
 	sm := &SessionModel{
-		n:     n,
-		scale: scale,
-		power: make([]float64, n),
-		vert:  make([]float64, n),
-		rim:   make([]float64, n),
-		lat:   make([][]lateralEdge, n),
-		names: m.Floorplan().Names(),
+		n:        n,
+		scale:    scale,
+		power:    make([]float64, n),
+		vert:     make([]float64, n),
+		rim:      make([]float64, n),
+		lat:      make([][]lateralEdge, n),
+		names:    m.Floorplan().Names(),
+		gBase:    make([]float64, n),
+		latTotal: make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
 		sm.power[i] = prof.Test(i)
@@ -70,12 +80,17 @@ func NewSessionModel(m *thermal.Model, prof *power.Profile, scale float64) (*Ses
 		} else {
 			sm.rim[i] = math.Inf(1)
 		}
+		sm.gBase[i] = 1 / sm.vert[i]
+		if !math.IsInf(sm.rim[i], 1) {
+			sm.gBase[i] += 1 / sm.rim[i]
+		}
 		for _, nb := range m.Adjacency().Neighbors(i) {
 			r, ok := m.LateralR(i, nb.Index)
 			if !ok { // adjacency and LateralR come from the same graph
 				return nil, fmt.Errorf("%w: inconsistent adjacency for cores %d,%d", ErrCore, i, nb.Index)
 			}
-			sm.lat[i] = append(sm.lat[i], lateralEdge{to: nb.Index, r: r})
+			sm.lat[i] = append(sm.lat[i], lateralEdge{to: nb.Index, r: r, g: 1 / r})
+			sm.latTotal[i] += 1 / r
 		}
 	}
 	return sm, nil

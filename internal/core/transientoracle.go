@@ -19,9 +19,13 @@ import (
 // open ("exploration of more efficient solutions at the expense of longer
 // thermal simulation times").
 //
-// Duration semantics: every query integrates from ambient for the given
-// time; the reported per-block temperature is the peak over the trace
-// (which, from ambient, is the final sample).
+// Duration semantics: every query integrates from ambient for the given time
+// and reports each block's temperature at the *end* of the run
+// (FinalBlockTemp). For a constant power map applied from ambient this final
+// sample IS the peak over the whole trace: the RC network charges
+// monotonically toward its steady state, so temperatures never overshoot.
+// (With a non-zero initial state or time-varying power that equivalence would
+// break, and the peak would have to be tracked explicitly.)
 type TransientOracle struct {
 	model    *thermal.Model
 	profile  *power.Profile

@@ -32,20 +32,23 @@ type WeightsResult struct {
 
 // RunWeights measures the effort/length trade-off of the weight factor.
 func RunWeights(env *Env) (*WeightsResult, error) {
-	out := &WeightsResult{}
-	for _, factor := range []float64{1.05, 1.1, 1.25, 1.5, 2.0} {
-		for _, tl := range []float64{145, 165, 185} {
-			res, err := env.Generate(core.Config{TL: tl, STCL: 60, WeightGrowth: factor})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: weights factor=%g TL=%g: %w", factor, tl, err)
-			}
-			out.Rows = append(out.Rows, WeightsRow{
-				Factor: factor, TL: tl, STCL: 60,
-				Length: res.Length, Effort: res.Effort,
-			})
+	factors := []float64{1.05, 1.1, 1.25, 1.5, 2.0}
+	tls := []float64{145, 165, 185}
+	rows, err := sweepN(env.Parallel, len(factors)*len(tls), func(i int) (WeightsRow, error) {
+		factor, tl := factors[i/len(tls)], tls[i%len(tls)]
+		res, err := env.Generate(core.Config{TL: tl, STCL: 60, WeightGrowth: factor})
+		if err != nil {
+			return WeightsRow{}, fmt.Errorf("experiments: weights factor=%g TL=%g: %w", factor, tl, err)
 		}
+		return WeightsRow{
+			Factor: factor, TL: tl, STCL: 60,
+			Length: res.Length, Effort: res.Effort,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &WeightsResult{Rows: rows}, nil
 }
 
 // Render formats the sweep.
@@ -77,19 +80,22 @@ type OrderingResult struct {
 
 // RunOrdering measures every order policy.
 func RunOrdering(env *Env) (*OrderingResult, error) {
-	out := &OrderingResult{}
-	for _, policy := range core.OrderPolicies() {
-		for _, tl := range []float64{145, 165, 185} {
-			res, err := env.Generate(core.Config{TL: tl, STCL: 60, Order: policy})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ordering %v TL=%g: %w", policy, tl, err)
-			}
-			out.Rows = append(out.Rows, OrderingRow{
-				Policy: policy, TL: tl, Length: res.Length, Effort: res.Effort,
-			})
+	policies := core.OrderPolicies()
+	tls := []float64{145, 165, 185}
+	rows, err := sweepN(env.Parallel, len(policies)*len(tls), func(i int) (OrderingRow, error) {
+		policy, tl := policies[i/len(tls)], tls[i%len(tls)]
+		res, err := env.Generate(core.Config{TL: tl, STCL: 60, Order: policy})
+		if err != nil {
+			return OrderingRow{}, fmt.Errorf("experiments: ordering %v TL=%g: %w", policy, tl, err)
 		}
+		return OrderingRow{
+			Policy: policy, TL: tl, Length: res.Length, Effort: res.Effort,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &OrderingResult{Rows: rows}, nil
 }
 
 // Render formats the sweep.
@@ -364,25 +370,33 @@ func ScalingSpec(n int, seed int64) (*testspec.Spec, error) {
 	return testspec.UniformLength(fmt.Sprintf("random-%d", n), prof, 1)
 }
 
-// RunScaling generates schedules for random SoCs of growing size.
-func RunScaling(sizes []int, seed int64) (*ScalingResult, error) {
-	out := &ScalingResult{}
-	for _, n := range sizes {
+// RunScaling generates schedules for random SoCs of growing size. Each size
+// gets its own environment (different floorplans share nothing), so with
+// parallel set the sizes fan out across worker goroutines.
+func RunScaling(sizes []int, seed int64, parallel bool) (*ScalingResult, error) {
+	rows, err := sweepN(parallel, len(sizes), func(i int) (ScalingRow, error) {
+		n := sizes[i]
 		spec, err := ScalingSpec(n, seed)
 		if err != nil {
-			return nil, err
+			return ScalingRow{}, err
 		}
 		env, err := NewEnv(spec)
 		if err != nil {
-			return nil, err
+			return ScalingRow{}, err
 		}
+		// Propagate the sweep's parallelism so Env.Generate keeps each
+		// cell's phase 1 serial instead of stacking a second fan-out level.
+		env.Parallel = parallel
 		res, err := env.Generate(core.Config{TL: 140, STCL: 60, AutoRaiseTL: true})
 		if err != nil {
-			return nil, err
+			return ScalingRow{}, err
 		}
-		out.Rows = append(out.Rows, ScalingRow{Cores: n, Length: res.Length, Effort: res.Effort})
+		return ScalingRow{Cores: n, Length: res.Length, Effort: res.Effort}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &ScalingResult{Rows: rows}, nil
 }
 
 // Render formats the scaling table.

@@ -17,11 +17,25 @@ import (
 )
 
 // Env bundles the objects every experiment needs for one workload.
+//
+// All oracle traffic goes through a shared memoizing cache: the sweeps of
+// Table 1 / Figure 5 re-pose identical session simulations for every grid
+// cell (each of the 81 cells repeats the same 15 phase-1 solo simulations),
+// so one Env-wide CachedOracle collapses that to one simulation per distinct
+// session. The cache also makes the whole Env safe to share across the
+// worker goroutines of a parallel sweep.
 type Env struct {
-	Spec   *testspec.Spec
-	Model  *thermal.Model
-	SM     *core.SessionModel
-	Oracle *core.SimOracle
+	Spec  *testspec.Spec
+	Model *thermal.Model
+	SM    *core.SessionModel
+	// Sim is the raw, uncached simulation oracle.
+	Sim *core.SimOracle
+	// Oracle memoizes Sim; its hit/miss counters are surfaced by the
+	// experiments CLI.
+	Oracle *core.CachedOracle
+	// Parallel fans experiment sweeps across GOMAXPROCS goroutines. Serial
+	// and parallel runs render byte-identical tables.
+	Parallel bool
 }
 
 // NewEnv builds the environment for a spec under the default package.
@@ -39,11 +53,13 @@ func NewEnvWithConfig(spec *testspec.Spec, cfg thermal.PackageConfig) (*Env, err
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building session model: %w", err)
 	}
+	sim := core.NewSimOracle(m, spec.Profile())
 	return &Env{
 		Spec:   spec,
 		Model:  m,
 		SM:     sm,
-		Oracle: core.NewSimOracle(m, spec.Profile()),
+		Sim:    sim,
+		Oracle: core.NewCachedOracle(sim),
 	}, nil
 }
 
@@ -53,9 +69,22 @@ func AlphaEnv() (*Env, error) { return NewEnv(testspec.Alpha21364()) }
 // Figure1Env is the motivational 7-core SoC environment.
 func Figure1Env() (*Env, error) { return NewEnv(testspec.Figure1()) }
 
-// Generate runs the thermal-aware generator in this environment.
+// Generate runs the thermal-aware generator in this environment with the
+// shared memoized oracle.
 func (e *Env) Generate(cfg core.Config) (*core.Result, error) {
-	return core.Generate(e.Spec, e.SM, e.Oracle, cfg)
+	return e.generateWith(e.Oracle, cfg)
+}
+
+// generateWith runs the generator against an arbitrary oracle (the transient
+// comparison substitutes its own). During a parallel sweep the grid cells
+// already occupy every core, so each cell's generator runs its phase 1
+// serially instead of stacking a second level of fan-out on top (results are
+// identical at any worker count).
+func (e *Env) generateWith(oracle core.Oracle, cfg core.Config) (*core.Result, error) {
+	if e.Parallel && cfg.Phase1Workers == 0 {
+		cfg.Phase1Workers = 1
+	}
+	return core.Generate(e.Spec, e.SM, oracle, cfg)
 }
 
 // The paper's parameter grids.

@@ -210,7 +210,7 @@ func TestRunScaling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling sweep in -short mode")
 	}
-	res, err := RunScaling([]int{8, 15, 30}, 11)
+	res, err := RunScaling([]int{8, 15, 30}, 11, false)
 	if err != nil {
 		t.Fatal(err)
 	}

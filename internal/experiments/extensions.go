@@ -29,39 +29,48 @@ type OracleResult struct {
 }
 
 // RunOracleComparison generates schedules with both oracles across a small
-// grid.
+// grid. The transient oracle is memoized per cell like the steady one; cells
+// fan out when env.Parallel is set (the underlying thermal model's cached
+// Crank–Nicolson operators are shared and concurrency-safe).
 func RunOracleComparison(env *Env) (*OracleResult, error) {
 	duration := env.Spec.MaxTestLength()
-	out := &OracleResult{Duration: duration}
-	for _, tl := range []float64{145, 165, 185} {
-		for _, stcl := range []float64{40, 80} {
-			cfg := core.Config{TL: tl, STCL: stcl}
-			steady, err := env.Generate(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: oracle cmp steady TL=%g STCL=%g: %w", tl, stcl, err)
-			}
-			tOracle, err := core.NewTransientOracle(env.Model, env.Spec.Profile(), duration, 0.002)
-			if err != nil {
-				return nil, err
-			}
-			transient, err := core.Generate(env.Spec, env.SM, tOracle, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: oracle cmp transient TL=%g STCL=%g: %w", tl, stcl, err)
-			}
-			row := OracleRow{
-				TL: tl, STCL: stcl,
-				SteadyLength:  steady.Length,
-				SteadyMaxT:    steady.MaxTemp,
-				TransientLen:  transient.Length,
-				TransientMaxT: transient.MaxTemp,
-			}
-			if steady.Length > 0 {
-				row.LengthSavedPct = 100 * (steady.Length - transient.Length) / steady.Length
-			}
-			out.Rows = append(out.Rows, row)
-		}
+	tOracle, err := core.NewTransientOracle(env.Model, env.Spec.Profile(), duration, 0.002)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	// One memoized transient oracle shared by every cell: all cells repeat
+	// the same 15 phase-1 solo transients and overlap heavily on validation
+	// sessions, exactly like the steady-state sweeps sharing env.Oracle.
+	cachedTransient := core.NewCachedOracle(tOracle)
+	tls := []float64{145, 165, 185}
+	stcls := []float64{40, 80}
+	rows, err := sweepN(env.Parallel, len(tls)*len(stcls), func(i int) (OracleRow, error) {
+		tl, stcl := tls[i/len(stcls)], stcls[i%len(stcls)]
+		cfg := core.Config{TL: tl, STCL: stcl}
+		steady, err := env.Generate(cfg)
+		if err != nil {
+			return OracleRow{}, fmt.Errorf("experiments: oracle cmp steady TL=%g STCL=%g: %w", tl, stcl, err)
+		}
+		transient, err := env.generateWith(cachedTransient, cfg)
+		if err != nil {
+			return OracleRow{}, fmt.Errorf("experiments: oracle cmp transient TL=%g STCL=%g: %w", tl, stcl, err)
+		}
+		row := OracleRow{
+			TL: tl, STCL: stcl,
+			SteadyLength:  steady.Length,
+			SteadyMaxT:    steady.MaxTemp,
+			TransientLen:  transient.Length,
+			TransientMaxT: transient.MaxTemp,
+		}
+		if steady.Length > 0 {
+			row.LengthSavedPct = 100 * (steady.Length - transient.Length) / steady.Length
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &OracleResult{Duration: duration, Rows: rows}, nil
 }
 
 // Render formats the comparison.

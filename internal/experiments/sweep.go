@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"runtime"
+
+	"repro/internal/conc"
+)
+
+// sweepN runs fn(0) … fn(n-1) and collects the results in index order. With
+// parallel set, the calls fan out across min(GOMAXPROCS, n) worker
+// goroutines; every fn must therefore be safe to run concurrently with the
+// others. Results are slotted by index, so serial and parallel sweeps return
+// identical slices — the property the byte-identical-tables guarantee of the
+// experiment harness rests on. On failure the lowest-index error is returned,
+// again matching the serial order.
+func sweepN[T any](parallel bool, n int, fn func(i int) (T, error)) ([]T, error) {
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return conc.Sweep(workers, n, fn)
+}

@@ -32,28 +32,32 @@ func RunTable1(env *Env) (*Table1Result, error) {
 }
 
 // RunTable1Grid regenerates Table 1 rows for arbitrary grids (used by the
-// Figure-5 subset and the benchmarks).
+// Figure-5 subset and the benchmarks). Grid cells fan out across worker
+// goroutines when env.Parallel is set, sharing env's memoized oracle; rows
+// come back in (TL, STCL) scan order either way, so serial and parallel runs
+// render byte-identical tables.
 func RunTable1Grid(env *Env, tls, stcls []float64) (*Table1Result, error) {
-	out := &Table1Result{}
-	for _, tl := range tls {
-		for _, stcl := range stcls {
-			res, err := env.Generate(core.Config{TL: tl, STCL: stcl})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: table1 TL=%g STCL=%g: %w", tl, stcl, err)
-			}
-			out.Rows = append(out.Rows, Table1Row{
-				TL:         tl,
-				STCL:       stcl,
-				Length:     res.Length,
-				Effort:     res.Effort,
-				MaxTemp:    res.MaxTemp,
-				Sessions:   res.Schedule.NumSessions(),
-				Violations: res.Violations,
-				Forced:     res.ForcedSingletons,
-			})
+	rows, err := sweepN(env.Parallel, len(tls)*len(stcls), func(i int) (Table1Row, error) {
+		tl, stcl := tls[i/len(stcls)], stcls[i%len(stcls)]
+		res, err := env.Generate(core.Config{TL: tl, STCL: stcl})
+		if err != nil {
+			return Table1Row{}, fmt.Errorf("experiments: table1 TL=%g STCL=%g: %w", tl, stcl, err)
 		}
+		return Table1Row{
+			TL:         tl,
+			STCL:       stcl,
+			Length:     res.Length,
+			Effort:     res.Effort,
+			MaxTemp:    res.MaxTemp,
+			Sessions:   res.Schedule.NumSessions(),
+			Violations: res.Violations,
+			Forced:     res.ForcedSingletons,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Table1Result{Rows: rows}, nil
 }
 
 // Row returns the cell for (tl, stcl), or nil.

@@ -385,3 +385,60 @@ func TestStringForms(t *testing.T) {
 		t.Error("String() empty for big matrix")
 	}
 }
+
+func TestCholeskySolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := randomSPD(n, rng)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := randomVec(n, rng)
+		want, err := ch.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, n)
+		if err := ch.SolveInto(dst, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: SolveInto[%d] = %g, Solve = %g", n, i, dst[i], want[i])
+			}
+		}
+		// In-place: dst aliases b.
+		inPlace := append([]float64(nil), b...)
+		if err := ch.SolveInto(inPlace, inPlace); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if inPlace[i] != want[i] {
+				t.Fatalf("n=%d: in-place SolveInto[%d] = %g, want %g", n, i, inPlace[i], want[i])
+			}
+		}
+		// Residual check against the original system.
+		r, err := Residual(a, dst, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if NormInf(r) > 1e-8*NormInf(b) {
+			t.Errorf("n=%d: residual %g too large", n, NormInf(r))
+		}
+	}
+}
+
+func TestCholeskySolveIntoShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ch, err := NewCholesky(randomSPD(4, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.SolveInto(make([]float64, 3), make([]float64, 4)); !errors.Is(err, ErrShape) {
+		t.Errorf("short dst: err = %v, want ErrShape", err)
+	}
+	if err := ch.SolveInto(make([]float64, 4), make([]float64, 5)); !errors.Is(err, ErrShape) {
+		t.Errorf("long b: err = %v, want ErrShape", err)
+	}
+}

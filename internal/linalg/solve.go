@@ -6,9 +6,12 @@ import (
 )
 
 // Cholesky is the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
+// A transposed copy of the factor is kept so the backward substitution in
+// SolveInto walks contiguous rows instead of striding down columns.
 type Cholesky struct {
-	n int
-	l *Matrix
+	n  int
+	l  *Matrix
+	lt *Matrix // Lᵀ, row-major: lt.Row(i)[k] == l.At(k, i)
 }
 
 // NewCholesky factorizes the symmetric positive definite matrix a.
@@ -43,34 +46,48 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 			l.Set(i, j, s/diag)
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	return &Cholesky{n: n, l: l, lt: l.Transpose()}, nil
 }
 
 // Solve returns x with A·x = b.
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
-	if len(b) != c.n {
-		return nil, fmt.Errorf("%w: Cholesky.Solve with len(b)=%d, n=%d", ErrShape, len(b), c.n)
+	x := make([]float64, c.n)
+	if err := c.SolveInto(x, b); err != nil {
+		return nil, err
 	}
-	// Forward: L·y = b.
-	y := make([]float64, c.n)
+	return x, nil
+}
+
+// SolveInto solves A·x = b into dst without allocating. dst may alias b, in
+// which case the solve happens fully in place. Both triangular sweeps walk
+// matrix rows (the backward pass uses the cached transposed factor), so the
+// inner loops are contiguous in memory.
+func (c *Cholesky) SolveInto(dst, b []float64) error {
+	if len(b) != c.n || len(dst) != c.n {
+		return fmt.Errorf("%w: Cholesky.SolveInto with len(dst)=%d, len(b)=%d, n=%d",
+			ErrShape, len(dst), len(b), c.n)
+	}
+	// Forward: L·y = b, y written into dst. In-place safe: b[i] is consumed
+	// before dst[i] is written, and only dst[k<i] (already y values) are read.
 	for i := 0; i < c.n; i++ {
 		s := b[i]
 		li := c.l.Row(i)
 		for k := 0; k < i; k++ {
-			s -= li[k] * y[k]
+			s -= li[k] * dst[k]
 		}
-		y[i] = s / li[i]
+		dst[i] = s / li[i]
 	}
-	// Backward: Lᵀ·x = y.
-	x := make([]float64, c.n)
+	// Backward: Lᵀ·x = y, overwriting dst from the bottom up; row i of Lᵀ
+	// holds exactly the coefficients the elimination of x[i] needs.
 	for i := c.n - 1; i >= 0; i-- {
-		s := y[i]
+		s := dst[i]
+		ui := c.lt.Row(i)
 		for k := i + 1; k < c.n; k++ {
-			s -= c.l.At(k, i) * x[k]
+			s -= ui[k] * dst[k]
 		}
-		x[i] = s / c.l.At(i, i)
+		dst[i] = s / ui[i]
 	}
-	return x, nil
+	return nil
 }
 
 // SolveMany solves A·X = B column-wise, reusing the factorization.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/floorplan"
 	"repro/internal/geom"
@@ -39,8 +40,35 @@ type Model struct {
 	size int // total node count = 2n+2
 
 	g    *linalg.Matrix   // conductance matrix (ambient eliminated), W/K
+	gs   *linalg.Sparse   // same matrix in CSR form, for allocation-free MulVec
 	caps []float64        // per-node heat capacity, J/K
 	chol *linalg.Cholesky // cached factorization of g
+
+	// cnMu guards cnOps, the per-step-size Crank–Nicolson operators. Each
+	// transient run with a new step size assembles and factorizes once; every
+	// subsequent run (including the fractional tail of a repeated horizon)
+	// reuses the cached triple. The cache is bounded: a long-lived Model
+	// serving arbitrary per-request durations would otherwise accumulate one
+	// dense factorization per distinct step size forever, so once
+	// maxCNOps entries exist the oldest insertion is evicted.
+	cnMu    sync.Mutex
+	cnOps   map[float64]*cnOp
+	cnOrder []float64 // insertion order of cnOps keys, for eviction
+}
+
+// maxCNOps bounds the cached Crank–Nicolson operator pairs per Model. A pair
+// costs O(size²) memory (two dense triangular factors), so the bound keeps a
+// long-lived Model's footprint fixed while still covering every step size a
+// realistic workload cycles through (a run touches at most two: the main
+// step and a fractional tail).
+const maxCNOps = 16
+
+// cnOp is the cached Crank–Nicolson operator pair for one step size h:
+// the factorized left matrix A = C/h + G/2 and the sparse right matrix
+// B = C/h − G/2.
+type cnOp struct {
+	chol *linalg.Cholesky
+	b    *linalg.Sparse
 }
 
 // NewModel builds the RC network for fp in the given package. The spreader
@@ -169,7 +197,65 @@ func (m *Model) assemble() {
 		cfg.ConvectionC
 
 	m.g = gm
+	m.gs = sparseFromDense(gm)
 	m.caps = caps
+}
+
+// sparseFromDense compiles the non-zero entries of a dense square matrix into
+// CSR form.
+func sparseFromDense(d *linalg.Matrix) *linalg.Sparse {
+	n := d.Rows()
+	sb := linalg.NewSparseBuilder(n)
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				sb.Add(i, j, v)
+			}
+		}
+	}
+	return sb.Build()
+}
+
+// cnOpFor returns the Crank–Nicolson operator pair for step size h, building
+// and caching it on first use. Safe for concurrent callers.
+func (m *Model) cnOpFor(h float64) (*cnOp, error) {
+	m.cnMu.Lock()
+	defer m.cnMu.Unlock()
+	if op, ok := m.cnOps[h]; ok {
+		return op, nil
+	}
+	// Left matrix A = C/h + G/2 (dense, factorized once); right matrix
+	// B = C/h − G/2 (sparse, multiplied every step).
+	a := linalg.NewSquare(m.size)
+	sb := linalg.NewSparseBuilder(m.size)
+	for i := 0; i < m.size; i++ {
+		row := m.g.Row(i)
+		arow := a.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				arow[j] = v / 2
+				sb.Add(i, j, -v/2)
+			}
+		}
+		arow[i] += m.caps[i] / h
+		sb.Add(i, i, m.caps[i]/h)
+	}
+	ch, err := linalg.NewCholesky(a)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: CN matrix not SPD: %w", err)
+	}
+	op := &cnOp{chol: ch, b: sb.Build()}
+	if m.cnOps == nil {
+		m.cnOps = make(map[float64]*cnOp)
+	}
+	if len(m.cnOps) >= maxCNOps {
+		delete(m.cnOps, m.cnOrder[0])
+		m.cnOrder = m.cnOrder[1:]
+	}
+	m.cnOps[h] = op
+	m.cnOrder = append(m.cnOrder, h)
+	return op, nil
 }
 
 // overhang returns how far the spreader extends beyond the die on the given

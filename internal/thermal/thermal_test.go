@@ -472,3 +472,54 @@ func TestBlockTempsCopy(t *testing.T) {
 		t.Error("BlockTemps leaks internal state")
 	}
 }
+
+func TestCNOperatorCacheBounded(t *testing.T) {
+	fp := floorplan.Alpha21364()
+	m, err := NewModel(fp, DefaultPackageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := make([]float64, m.NumBlocks())
+	power[0] = 10
+	// Drive far more distinct step sizes than the cache bound; the map must
+	// stay capped and every run must still succeed after evictions.
+	for i := 1; i <= 3*maxCNOps; i++ {
+		step := 0.001 * float64(i)
+		if _, err := m.Transient(power, TransientOptions{Duration: 10 * step, Step: step}); err != nil {
+			t.Fatalf("step %g: %v", step, err)
+		}
+	}
+	m.cnMu.Lock()
+	n, order := len(m.cnOps), len(m.cnOrder)
+	m.cnMu.Unlock()
+	if n > maxCNOps {
+		t.Errorf("cnOps grew to %d entries, bound is %d", n, maxCNOps)
+	}
+	if n != order {
+		t.Errorf("cnOps has %d entries but cnOrder tracks %d", n, order)
+	}
+	// An evicted step size must transparently rebuild.
+	if _, err := m.Transient(power, TransientOptions{Duration: 0.01, Step: 0.001}); err != nil {
+		t.Fatalf("re-running evicted step size: %v", err)
+	}
+}
+
+func TestTransientTinySampleEvery(t *testing.T) {
+	// Regression: a tiny positive SampleEvery must not panic on trace
+	// pre-allocation or demand absurd memory; samples stay bounded by the
+	// step count.
+	fp := floorplan.Alpha21364()
+	m, err := NewModel(fp, DefaultPackageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := make([]float64, m.NumBlocks())
+	power[0] = 10
+	res, err := m.Transient(power, TransientOptions{Duration: 1, Step: 0.5, SampleEvery: 1e-300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) > 4 {
+		t.Errorf("got %d samples from 2 steps", len(res.Samples))
+	}
+}

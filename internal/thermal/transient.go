@@ -4,8 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-
-	"repro/internal/linalg"
 )
 
 // Integrator selects the time-integration scheme for transients.
@@ -123,7 +121,21 @@ func (m *Model) Transient(power []float64, opts TransientOptions) (*TransientRes
 		sampleEvery = opts.Duration / 100
 	}
 
-	var trace []Sample
+	// Pre-size the trace by the expected sample count, bounded by the step
+	// count when an explicit step is given (record fires at most once per
+	// step) and hard-capped so a tiny SampleEvery cannot demand an absurd —
+	// or, after float→int overflow, negative — capacity. append grows past
+	// the hint if ever needed.
+	est := opts.Duration / sampleEvery
+	if opts.Step > 0 {
+		if s := opts.Duration / opts.Step; s < est {
+			est = s
+		}
+	}
+	if !(est < 4096) { // also catches NaN/Inf
+		est = 4096
+	}
+	trace := make([]Sample, 0, int(est)+2)
 	record := func(t float64, x []float64) {
 		mx := x[0]
 		for i := 1; i < m.n; i++ {
@@ -160,87 +172,56 @@ func (m *Model) Transient(power []float64, opts TransientOptions) (*TransientRes
 
 // integrateCN advances rise in place with Crank–Nicolson:
 // (C/h + G/2)·x⁺ = (C/h − G/2)·x + P.
+//
+// The (A-factorization, sparse B) pair is cached per step size on the Model,
+// and the hot loop runs allocation-free: the sparse multiply writes into a
+// reused buffer and the triangular solves go through Cholesky.SolveInto.
 func (m *Model) integrateCN(power, rise []float64, duration, step, sampleEvery float64,
 	record func(float64, []float64)) error {
 	h := step
 	if h == 0 {
 		h = duration / 2000
 	}
-	// Left matrix A = C/h + G/2; right matrix B = C/h − G/2.
-	a := m.g.Clone()
-	b := m.g.Clone()
-	for i := 0; i < m.size; i++ {
-		for j := 0; j < m.size; j++ {
-			a.Set(i, j, m.g.At(i, j)/2)
-			b.Set(i, j, -m.g.At(i, j)/2)
-		}
-		a.Add(i, i, m.caps[i]/h)
-		b.Add(i, i, m.caps[i]/h)
-	}
-	ch, err := linalg.NewCholesky(a)
+	op, err := m.cnOpFor(h)
 	if err != nil {
-		return fmt.Errorf("thermal: CN matrix not SPD: %w", err)
+		return err
 	}
-	t, nextSample := 0.0, 0.0
-	record(0, rise)
-	nextSample = sampleEvery
-	for t < duration-1e-12 {
-		hEff := math.Min(h, duration-t)
-		if hEff < h-1e-12 {
-			// Final fractional step: re-factorize for the shortened step.
-			return m.cnFractionalTail(power, rise, hEff, t, duration, record)
-		}
-		rhs, err := b.MulVec(rise)
-		if err != nil {
+	rhs := make([]float64, m.size)
+	cnStep := func(o *cnOp) error {
+		if _, err := o.b.MulVec(rise, rhs); err != nil {
 			return err
 		}
 		for i := range rhs {
 			rhs[i] += power[i]
 		}
-		next, err := ch.Solve(rhs)
-		if err != nil {
+		return o.chol.SolveInto(rise, rhs)
+	}
+	t, nextSample := 0.0, sampleEvery
+	record(0, rise)
+	for t < duration-1e-12 {
+		hEff := math.Min(h, duration-t)
+		if hEff < h-1e-12 {
+			// Final fractional step: a shorter step needs its own operator
+			// pair, cached like any other step size.
+			tail, err := m.cnOpFor(hEff)
+			if err != nil {
+				return err
+			}
+			if err := cnStep(tail); err != nil {
+				return err
+			}
+			record(duration, rise)
+			return nil
+		}
+		if err := cnStep(op); err != nil {
 			return err
 		}
-		copy(rise, next)
 		t += hEff
 		if t+1e-12 >= nextSample {
 			record(t, rise)
 			nextSample += sampleEvery
 		}
 	}
-	record(duration, rise)
-	return nil
-}
-
-// cnFractionalTail performs the final, shorter CN step.
-func (m *Model) cnFractionalTail(power, rise []float64, h, t, duration float64,
-	record func(float64, []float64)) error {
-	a := m.g.Clone()
-	b := m.g.Clone()
-	for i := 0; i < m.size; i++ {
-		for j := 0; j < m.size; j++ {
-			a.Set(i, j, m.g.At(i, j)/2)
-			b.Set(i, j, -m.g.At(i, j)/2)
-		}
-		a.Add(i, i, m.caps[i]/h)
-		b.Add(i, i, m.caps[i]/h)
-	}
-	ch, err := linalg.NewCholesky(a)
-	if err != nil {
-		return err
-	}
-	rhs, err := b.MulVec(rise)
-	if err != nil {
-		return err
-	}
-	for i := range rhs {
-		rhs[i] += power[i]
-	}
-	next, err := ch.Solve(rhs)
-	if err != nil {
-		return err
-	}
-	copy(rise, next)
 	record(duration, rise)
 	return nil
 }
@@ -263,35 +244,40 @@ func (m *Model) integrateRK4(power, rise []float64, duration, step, sampleEvery 
 	if h == 0 || h > hStable {
 		h = hStable
 	}
-	deriv := func(x []float64) []float64 {
-		gx, err := m.g.MulVec(x)
-		if err != nil { // impossible: sizes are fixed at construction
+	// All stage buffers are allocated once; deriv writes into a caller-owned
+	// slice via the sparse conductance operator, so the step loop is
+	// allocation-free.
+	gx := make([]float64, m.size)
+	deriv := func(dst, x []float64) {
+		if _, err := m.gs.MulVec(x, gx); err != nil { // impossible: sizes fixed
 			panic(err)
 		}
-		d := make([]float64, m.size)
-		for i := range d {
-			d[i] = (power[i] - gx[i]) / m.caps[i]
+		for i := range dst {
+			dst[i] = (power[i] - gx[i]) / m.caps[i]
 		}
-		return d
 	}
+	k1 := make([]float64, m.size)
+	k2 := make([]float64, m.size)
+	k3 := make([]float64, m.size)
+	k4 := make([]float64, m.size)
 	tmp := make([]float64, m.size)
 	t, nextSample := 0.0, sampleEvery
 	record(0, rise)
 	for t < duration-1e-12 {
 		hEff := math.Min(h, duration-t)
-		k1 := deriv(rise)
+		deriv(k1, rise)
 		for i := range tmp {
 			tmp[i] = rise[i] + hEff/2*k1[i]
 		}
-		k2 := deriv(tmp)
+		deriv(k2, tmp)
 		for i := range tmp {
 			tmp[i] = rise[i] + hEff/2*k2[i]
 		}
-		k3 := deriv(tmp)
+		deriv(k3, tmp)
 		for i := range tmp {
 			tmp[i] = rise[i] + hEff*k3[i]
 		}
-		k4 := deriv(tmp)
+		deriv(k4, tmp)
 		for i := range rise {
 			rise[i] += hEff / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
 		}

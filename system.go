@@ -14,12 +14,16 @@ import (
 
 // System bundles everything needed to schedule one SoC: the test spec, the
 // full thermal model, the reduced session model and the simulation oracle.
-// It is immutable after construction and safe for concurrent use.
+// It is safe for concurrent use; the only internal mutability is the
+// memoizing oracle cache, which is itself concurrency-safe. Repeated
+// GenerateSchedule / SessionMaxTemp calls on one System answer previously
+// simulated sessions from the cache.
 type System struct {
 	spec   *testspec.Spec
 	model  *thermal.Model
 	sm     *core.SessionModel
-	oracle *core.SimOracle
+	sim    *core.SimOracle
+	oracle *core.CachedOracle
 }
 
 // NewSystem builds a System for a test spec under a package configuration.
@@ -32,13 +36,19 @@ func NewSystem(spec *TestSpec, cfg PackageConfig) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("thermalsched: building session model: %w", err)
 	}
+	sim := core.NewSimOracle(model, spec.Profile())
 	return &System{
 		spec:   spec,
 		model:  model,
 		sm:     sm,
-		oracle: core.NewSimOracle(model, spec.Profile()),
+		sim:    sim,
+		oracle: core.NewCachedOracle(sim),
 	}, nil
 }
+
+// OracleStats returns the memoized oracle's (hits, misses) counters — misses
+// equal the number of distinct sessions ever simulated by this System.
+func (s *System) OracleStats() (hits, misses int64) { return s.oracle.Stats() }
 
 // Spec returns the test spec.
 func (s *System) Spec() *TestSpec { return s.spec }

@@ -75,6 +75,8 @@ type (
 	TransientOptions = thermal.TransientOptions
 	// TransientResult is a transient temperature trace.
 	TransientResult = thermal.TransientResult
+	// Integrator selects the transient time-integration scheme.
+	Integrator = thermal.Integrator
 	// GridModel is the fine-grid discretisation used for validation and
 	// heatmaps.
 	GridModel = thermal.GridModel
@@ -92,6 +94,8 @@ type (
 	OrderPolicy = core.OrderPolicy
 	// Oracle is the accurate-simulation interface consumed by the generator.
 	Oracle = core.Oracle
+	// CachedOracle memoizes any Oracle by active set, concurrency-safe.
+	CachedOracle = core.CachedOracle
 
 	// Session is a set of concurrently tested cores.
 	Session = schedule.Session
@@ -110,6 +114,17 @@ const (
 	OrderByAreaAsc     = core.OrderByAreaAsc
 	OrderInput         = core.OrderInput
 )
+
+// Transient integrators for TransientOptions.Integrator.
+const (
+	CrankNicolson = thermal.CrankNicolson
+	RK4           = thermal.RK4
+)
+
+// NewCachedOracle wraps an Oracle with a concurrency-safe memo table keyed
+// by active set. Deterministic oracles (all of them, per the Oracle
+// contract) answer repeated session queries from the cache.
+func NewCachedOracle(inner Oracle) *CachedOracle { return core.NewCachedOracle(inner) }
 
 // DefaultPackage returns the calibrated package stack used by the paper
 // reproduction (see DESIGN.md §3 for the calibration rationale).
