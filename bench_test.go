@@ -353,7 +353,8 @@ func BenchmarkOptimalityGap(b *testing.B) {
 	}
 }
 
-// BenchmarkGridSteadyState measures one 32×32 grid CG solve.
+// BenchmarkGridSteadyState measures one 32×32 grid steady-state query
+// against the factored sparse backend.
 func BenchmarkGridSteadyState(b *testing.B) {
 	fp := thermalsched.Alpha21364Floorplan()
 	gm, err := thermalsched.NewGridThermalModel(fp, thermalsched.DefaultPackage(), 32, 32)
@@ -368,6 +369,68 @@ func BenchmarkGridSteadyState(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gm.SteadyState(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridSteady is the sparse-backend scaling ladder: amortized
+// per-query steady-state solves on ~1k/4k/16k-node grid models with the
+// factorization built once outside the timed loop (the oracle usage
+// pattern). CI smokes the smallest rung; PERF.md records the full ladder
+// against the legacy per-query CG numbers.
+func BenchmarkGridSteady(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		res  int // grid is res×res cells → 2·res²+2 nodes
+	}{
+		{"n1k", 22},
+		{"n4k", 45},
+		{"n16k", 90},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			fp := thermalsched.Alpha21364Floorplan()
+			gm, err := thermalsched.NewGridThermalModel(fp, thermalsched.DefaultPackage(), c.res, c.res)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := gm.SolverBackend(); got != "sparse-cholesky" {
+				b.Fatalf("backend = %q, want sparse-cholesky", got)
+			}
+			spec := thermalsched.AlphaWorkload()
+			pm := make([]float64, fp.NumBlocks())
+			for i := range pm {
+				pm[i] = spec.Test(i).Power / 3
+			}
+			b.ReportMetric(float64(gm.NumNodes()), "nodes")
+			b.ReportMetric(float64(gm.FactorNNZ()), "factor_nnz")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gm.SteadyState(pm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGridSteadyLegacyCG measures the same 16k-node query on the
+// pre-factorization path (a fresh Jacobi-preconditioned CG solve at tol 1e-9
+// per query) — the baseline the sparse backend's ≥10x claim is made against.
+func BenchmarkGridSteadyLegacyCG(b *testing.B) {
+	fp := thermalsched.Alpha21364Floorplan()
+	gm, err := thermalsched.NewGridThermalModel(fp, thermalsched.DefaultPackage(), 90, 90)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := thermalsched.AlphaWorkload()
+	pm := make([]float64, fp.NumBlocks())
+	for i := range pm {
+		pm[i] = spec.Test(i).Power / 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gm.SteadyStateCG(pm); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -19,19 +21,43 @@ import (
 func main() {
 	var (
 		which = flag.String("run", "all",
-			"experiment: all, fig1, fig5, table1, claims, weights, ordering, fidelity, baseline, scaling, oracle, gap, gridcheck")
+			"experiment: all, fig1, fig5, table1, claims, weights, ordering, fidelity, baseline, scaling, oracle, gap, gridcheck, gridres")
 		parallel = flag.Bool("parallel", false,
 			"fan experiment sweeps across GOMAXPROCS goroutines (tables are byte-identical to serial runs)")
+		gridres = flag.String("gridres", "",
+			"comma-separated grid-resolution ladder for -run gridres (e.g. 32,64,128); "+
+				"runs the Table 1 flow per resolution and prints solver backend and factor/solve timings")
 	)
 	flag.Parse()
 
-	if err := run(*which, *parallel); err != nil {
+	ladder, err := parseGridRes(*gridres)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if err := run(*which, *parallel, ladder); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, parallel bool) error {
+// parseGridRes parses the -gridres ladder; empty selects the default rungs.
+func parseGridRes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{16, 32, 64, 96}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -gridres entry %q (want integers >= 2)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(which string, parallel bool, gridres []int) error {
 	wants := func(name string) bool { return which == "all" || which == name }
 	ran := false
 
@@ -46,7 +72,7 @@ func run(which string, parallel bool) error {
 
 	var env *experiments.Env
 	needEnv := false
-	for _, name := range []string{"fig5", "table1", "claims", "weights", "ordering", "fidelity", "baseline", "oracle", "gap", "gridcheck"} {
+	for _, name := range []string{"fig5", "table1", "claims", "weights", "ordering", "fidelity", "baseline", "oracle", "gap", "gridcheck", "gridres"} {
 		if wants(name) {
 			needEnv = true
 		}
@@ -135,6 +161,14 @@ func run(which string, parallel bool) error {
 	if wants("gridcheck") {
 		ran = true
 		res, err := experiments.RunGridCheck(env, 32)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("gridres") {
+		ran = true
+		res, err := experiments.RunGridScale(env, gridres)
 		if err != nil {
 			return err
 		}

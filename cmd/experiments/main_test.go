@@ -9,14 +9,38 @@ func TestRunSingleExperiments(t *testing.T) {
 	// "all" is exercised implicitly by the individual runs; keep the test
 	// fast by running the cheap artifacts individually.
 	for _, which := range []string{"fig1", "claims", "fidelity", "baseline"} {
-		if err := run(which, which == "baseline"); err != nil {
+		if err := run(which, which == "baseline", nil); err != nil {
 			t.Errorf("run(%q): %v", which, err)
 		}
 	}
 }
 
+func TestRunGridResLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid ladder in -short mode")
+	}
+	if err := run("gridres", false, []int{8, 12}); err != nil {
+		t.Errorf("run(gridres): %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", false); err == nil {
+	if err := run("bogus", false, nil); err == nil {
 		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestParseGridRes(t *testing.T) {
+	if _, err := parseGridRes("16, 32,64"); err != nil {
+		t.Errorf("valid ladder rejected: %v", err)
+	}
+	def, err := parseGridRes("  ")
+	if err != nil || len(def) == 0 {
+		t.Errorf("empty ladder should yield the default rungs, got %v, %v", def, err)
+	}
+	for _, bad := range []string{"16,x", "1", "-4", "8,,16"} {
+		if _, err := parseGridRes(bad); err == nil {
+			t.Errorf("parseGridRes(%q) should fail", bad)
+		}
 	}
 }

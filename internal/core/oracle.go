@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/power"
@@ -23,28 +24,51 @@ type Oracle interface {
 // SimOracle answers oracle queries with the full RC thermal model, injecting
 // each active core's test power and zero power into passive cores (the
 // paper's passive-cores-idle assumption).
+//
+// The solve goes through Model.SteadyStateInto with pooled node buffers, so
+// a query's only allocation is the returned block-temperature slice — the
+// cache-miss path of a hot sweep no longer churns full node vectors.
 type SimOracle struct {
 	model   *thermal.Model
 	profile *power.Profile
+	scratch sync.Pool // *simScratch
+}
+
+// simScratch is one query's reusable buffers: the full node temperature
+// vector and the per-block power map.
+type simScratch struct {
+	temps []float64
+	pm    []float64
 }
 
 // NewSimOracle binds a thermal model and a power profile. Both must share a
 // floorplan; this is checked at first use via the power-map shape.
 func NewSimOracle(m *thermal.Model, prof *power.Profile) *SimOracle {
-	return &SimOracle{model: m, profile: prof}
+	o := &SimOracle{model: m, profile: prof}
+	o.scratch.New = func() any {
+		return &simScratch{
+			temps: make([]float64, m.NumNodes()),
+			pm:    make([]float64, m.NumBlocks()),
+		}
+	}
+	return o
 }
 
 // BlockTemps implements Oracle.
 func (o *SimOracle) BlockTemps(active []int) ([]float64, error) {
-	pm, err := o.profile.TestPowerMap(active)
-	if err != nil {
+	sc := o.scratch.Get().(*simScratch)
+	if err := o.profile.TestPowerMapInto(sc.pm, active); err != nil {
+		o.scratch.Put(sc)
 		return nil, err
 	}
-	res, err := o.model.SteadyState(pm)
-	if err != nil {
+	if err := o.model.SteadyStateInto(sc.temps, sc.pm); err != nil {
+		o.scratch.Put(sc)
 		return nil, err
 	}
-	return res.BlockTemps(), nil
+	out := make([]float64, o.model.NumBlocks())
+	copy(out, sc.temps[:o.model.NumBlocks()])
+	o.scratch.Put(sc)
+	return out, nil
 }
 
 // CountingOracle wraps an Oracle and counts calls — used by tests and by the

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGridScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid ladder in -short mode")
+	}
+	env, err := AlphaEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunGridScale(env, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	if res.Sessions == 0 {
+		t.Fatal("no sessions in the Table 1 schedule")
+	}
+	for _, p := range res.Points {
+		if p.Nodes != 2*p.Res*p.Res+2 {
+			t.Errorf("res %d: nodes = %d", p.Res, p.Nodes)
+		}
+		if p.Backend != "sparse-cholesky" {
+			t.Errorf("res %d: backend = %q, want sparse-cholesky", p.Res, p.Backend)
+		}
+		if p.FactorNNZ <= p.Nodes {
+			t.Errorf("res %d: factor nnz %d below node count", p.Res, p.FactorNNZ)
+		}
+		if p.Queries != res.Sessions || p.SolveTime <= 0 || p.PerQuery() <= 0 {
+			t.Errorf("res %d: queries %d, solve %v", p.Res, p.Queries, p.SolveTime)
+		}
+		// Physically plausible: grid peak within the regime the block model
+		// schedules against (well above ambient, below silicon meltdown).
+		if p.PeakT < 50 || p.PeakT > 400 {
+			t.Errorf("res %d: implausible peak %g °C", p.Res, p.PeakT)
+		}
+	}
+	// Finer grids resolve hotter intra-block peaks; the two rungs must at
+	// least agree loosely on the temperature field.
+	if d := res.Points[1].PeakT - res.Points[0].PeakT; d < -20 {
+		t.Errorf("peak fell by %g K when refining the grid", -d)
+	}
+	text := res.Render()
+	for _, want := range []string{"Grid-resolution ladder", "sparse-cholesky", "per-query"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render missing %q:\n%s", want, text)
+		}
+	}
+}

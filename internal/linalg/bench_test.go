@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The backend benches factor and solve grid Laplacians of growing size with
+// the dense and the sparse Cholesky, charting the crossover that the thermal
+// Model's backend pick is based on (see PERF.md). Dense variants stop at
+// n=1024 — beyond that the O(n³) factor dominates any benchmark budget,
+// which is itself the result.
+
+func benchDims(n int) (nx, ny int) {
+	switch n {
+	case 64:
+		return 8, 8
+	case 256:
+		return 16, 16
+	case 1024:
+		return 32, 32
+	case 4096:
+		return 64, 64
+	case 16384:
+		return 128, 128
+	default:
+		panic("unsupported bench size")
+	}
+}
+
+func BenchmarkCholeskyFactorDense(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			nx, ny := benchDims(n)
+			d := buildLaplacian(nx, ny).Dense()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewCholesky(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCholeskyFactorSparse(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			nx, ny := benchDims(n)
+			s := buildLaplacian(nx, ny)
+			sym, err := NewCholSymbolic(s, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sym.LNNZ()), "factor_nnz")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sym.Factorize(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCholeskySolveDense(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			nx, ny := benchDims(n)
+			ch, err := NewCholesky(buildLaplacian(nx, ny).Dense())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rhs := make([]float64, n)
+			rhs[n/2] = 1
+			dst := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ch.SolveInto(dst, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCholeskySolveSparse(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			nx, ny := benchDims(n)
+			ch, err := NewSparseCholesky(buildLaplacian(nx, ny))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rhs := make([]float64, n)
+			rhs[n/2] = 1
+			dst := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ch.SolveInto(dst, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveCGJacobi and BenchmarkSolveCGIC0 time the iterative fallback
+// per query at the grid solver's production tolerance, for the PERF.md
+// direct-vs-iterative comparison.
+func BenchmarkSolveCGJacobi(b *testing.B) {
+	benchCG(b, false)
+}
+
+func BenchmarkSolveCGIC0(b *testing.B) {
+	benchCG(b, true)
+}
+
+func benchCG(b *testing.B, ic0 bool) {
+	for _, n := range []int{1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			nx, ny := benchDims(n)
+			s := buildLaplacian(nx, ny)
+			opts := CGOptions{Tol: 1e-9, Scratch: &CGScratch{}}
+			if ic0 {
+				ic, err := NewIC0(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts.Precond = ic
+			}
+			rhs := make([]float64, n)
+			rhs[n/2] = 1
+			dst := make([]float64, n)
+			iters := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it, err := s.SolveCGInto(dst, rhs, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = it
+			}
+			b.ReportMetric(float64(iters), "iters")
+		})
+	}
+}

@@ -1,0 +1,328 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// CholSymbolic is the ordering-and-structure half of a sparse Cholesky
+// factorization: the fill-reducing permutation, the elimination tree and the
+// exact non-zero structure of the factor L. It depends only on the sparsity
+// pattern, so one analysis serves every matrix with that pattern — the
+// thermal solver analyses a floorplan's conductance graph once and then
+// factorizes one matrix per Crank–Nicolson step size against the shared
+// symbolic object.
+type CholSymbolic struct {
+	n      int
+	perm   []int // perm[k] = original index eliminated k-th
+	pinv   []int // pinv[original] = elimination position
+	parent []int // elimination tree over permuted indices (-1 = root)
+	colPtr []int // column pointers of L (CSC), len n+1
+
+	// Permuted lower-triangular pattern of the input: row k holds the
+	// permuted columns j <= k, with cmap mapping each slot back into the
+	// source matrix's vals array so Factorize is a pure gather.
+	cp, ci, cmap []int
+
+	// Pattern identity of the analysed matrix, for the cheap compatibility
+	// check in Factorize.
+	srcRowPtr, srcCols []int
+}
+
+// NewCholSymbolic analyses the pattern of the SPD matrix s under the given
+// fill-reducing permutation (nil selects RCM). It returns ErrNotSPD when s is
+// not symmetric.
+func NewCholSymbolic(s *Sparse, perm []int) (*CholSymbolic, error) {
+	n := s.n
+	if !s.IsSymmetricSparse(1e-10) {
+		return nil, fmt.Errorf("%w: matrix is not symmetric", ErrNotSPD)
+	}
+	if perm == nil {
+		perm = RCM(s)
+	} else if len(perm) != n {
+		return nil, fmt.Errorf("%w: permutation has %d entries, n=%d", ErrShape, len(perm), n)
+	}
+	sym := &CholSymbolic{
+		n:         n,
+		perm:      perm,
+		pinv:      make([]int, n),
+		parent:    make([]int, n),
+		colPtr:    make([]int, n+1),
+		srcRowPtr: s.rowPtr,
+		srcCols:   s.cols,
+	}
+	for k, old := range perm {
+		sym.pinv[old] = k
+	}
+
+	// Build the permuted lower-triangular pattern C = tril(P·S·Pᵀ) in CSR
+	// form by counting sort over destination rows. Column order within a row
+	// is irrelevant for both the elimination tree and the numeric scatter.
+	cp := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		ni := sym.pinv[i]
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			if sym.pinv[s.cols[k]] <= ni {
+				cp[ni+1]++
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		cp[k+1] += cp[k]
+	}
+	ci := make([]int, cp[n])
+	cmap := make([]int, cp[n])
+	next := make([]int, n)
+	copy(next, cp[:n])
+	for i := 0; i < n; i++ {
+		ni := sym.pinv[i]
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			if nj := sym.pinv[s.cols[k]]; nj <= ni {
+				ci[next[ni]] = nj
+				cmap[next[ni]] = k
+				next[ni]++
+			}
+		}
+	}
+	sym.cp, sym.ci, sym.cmap = cp, ci, cmap
+
+	// Elimination tree (Liu's algorithm with path-compressing ancestors):
+	// parent[i] = min{k > i : L(k,i) != 0}.
+	ancestor := make([]int, n)
+	for k := 0; k < n; k++ {
+		sym.parent[k] = -1
+		ancestor[k] = -1
+		for p := cp[k]; p < cp[k+1]; p++ {
+			for i := ci[p]; i != -1 && i < k; {
+				inext := ancestor[i]
+				ancestor[i] = k
+				if inext == -1 {
+					sym.parent[i] = k
+				}
+				i = inext
+			}
+		}
+	}
+
+	// Column counts of L by replaying the row patterns: row k of L is the
+	// union of the etree paths from the entries of row k of C up to k
+	// (ereach). Total work is O(nnz(L)).
+	counts := make([]int, n)
+	wmark := make([]int, n)
+	for i := range wmark {
+		wmark[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		wmark[k] = k
+		counts[k]++ // diagonal
+		for p := cp[k]; p < cp[k+1]; p++ {
+			for i := ci[p]; wmark[i] != k; i = sym.parent[i] {
+				wmark[i] = k
+				counts[i]++
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		sym.colPtr[k+1] = sym.colPtr[k] + counts[k]
+	}
+	return sym, nil
+}
+
+// LNNZ returns the number of non-zeros the factor L will have (including the
+// diagonal) — the exact fill, known before any numeric work.
+func (sym *CholSymbolic) LNNZ() int { return sym.colPtr[sym.n] }
+
+// N returns the matrix dimension.
+func (sym *CholSymbolic) N() int { return sym.n }
+
+// Perm returns the fill-reducing permutation (new position → original index).
+// The slice is shared; treat it as read-only.
+func (sym *CholSymbolic) Perm() []int { return sym.perm }
+
+// samePattern reports whether s has the pattern the symbolic analysis was
+// computed for. The common case — matrices produced by MapValues — shares the
+// underlying index slices, making the check O(1).
+func (sym *CholSymbolic) samePattern(s *Sparse) bool {
+	if s.n != sym.n || len(s.cols) != len(sym.srcCols) {
+		return false
+	}
+	if len(s.cols) == 0 {
+		return true
+	}
+	if &s.rowPtr[0] == &sym.srcRowPtr[0] && &s.cols[0] == &sym.srcCols[0] {
+		return true
+	}
+	for i, v := range s.rowPtr {
+		if sym.srcRowPtr[i] != v {
+			return false
+		}
+	}
+	for i, v := range s.cols {
+		if sym.srcCols[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Factorize runs the numeric factorization of s against this symbolic
+// analysis. s must have exactly the pattern that was analysed (same row
+// pointers and column indices); values are free to differ. It returns
+// ErrNotSPD on a non-positive pivot.
+func (sym *CholSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
+	if !sym.samePattern(s) {
+		return nil, fmt.Errorf("%w: matrix pattern differs from the symbolic analysis", ErrShape)
+	}
+	n := sym.n
+	ch := &SparseCholesky{
+		sym: sym,
+		lp:  sym.colPtr,
+		li:  make([]int, sym.LNNZ()),
+		lx:  make([]float64, sym.LNNZ()),
+	}
+	ch.pool.New = func() any {
+		b := make([]float64, n)
+		return &b
+	}
+
+	// Up-looking factorization (Davis, "Direct Methods for Sparse Linear
+	// Systems", cs_chol): for each row k, ereach gives the pattern of
+	// L(k, 0:k) in etree-topological order; a sparse triangular solve against
+	// the columns built so far yields the row's values, which are scattered
+	// into their columns.
+	x := make([]float64, n) // dense accumulator, all-zero between rows
+	cnext := make([]int, n) // next free slot per column of L
+	copy(cnext, sym.colPtr[:n])
+	wmark := make([]int, n) // ereach visited marks, stamped by row
+	for i := range wmark {
+		wmark[i] = -1
+	}
+	stack := make([]int, n)
+	path := make([]int, n)
+	cp, ci, cmap := sym.cp, sym.ci, sym.cmap
+	for k := 0; k < n; k++ {
+		top := n
+		wmark[k] = k
+		for p := cp[k]; p < cp[k+1]; p++ {
+			i := ci[p]
+			x[i] = s.vals[cmap[p]]
+			ln := 0
+			for t := i; wmark[t] != k; t = sym.parent[t] {
+				path[ln] = t
+				ln++
+				wmark[t] = k
+			}
+			for ln > 0 {
+				ln--
+				top--
+				stack[top] = path[ln]
+			}
+		}
+		d := x[k]
+		x[k] = 0
+		for ; top < n; top++ {
+			i := stack[top]
+			lki := x[i] / ch.lx[ch.lp[i]]
+			x[i] = 0
+			for p := ch.lp[i] + 1; p < cnext[i]; p++ {
+				x[ch.li[p]] -= ch.lx[p] * lki
+			}
+			d -= lki * lki
+			q := cnext[i]
+			cnext[i]++
+			ch.li[q] = k
+			ch.lx[q] = lki
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: non-positive pivot %g at column %d", ErrNotSPD, d, k)
+		}
+		q := cnext[k]
+		cnext[k]++
+		ch.li[q] = k
+		ch.lx[q] = math.Sqrt(d)
+	}
+	return ch, nil
+}
+
+// SparseCholesky is the numeric factor P·A·Pᵀ = L·Lᵀ of a sparse SPD matrix,
+// stored column-compressed with the diagonal entry first in each column and
+// row indices ascending. It is immutable after construction and safe for
+// concurrent solves: the permuted work vector each solve needs comes from an
+// internal pool, so SolveInto allocates nothing in steady state.
+type SparseCholesky struct {
+	sym  *CholSymbolic
+	lp   []int // column pointers (shared with sym.colPtr)
+	li   []int // row indices
+	lx   []float64
+	pool sync.Pool // *[]float64 scratch, len n
+}
+
+// NewSparseCholesky analyses and factorizes s in one call under an RCM
+// ordering — the convenience path for one-shot factorizations. Callers that
+// factorize several matrices with one pattern should keep the CholSymbolic
+// and call Factorize per matrix.
+func NewSparseCholesky(s *Sparse) (*SparseCholesky, error) {
+	sym, err := NewCholSymbolic(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return sym.Factorize(s)
+}
+
+// N returns the dimension.
+func (c *SparseCholesky) N() int { return c.sym.n }
+
+// NNZ returns the non-zero count of the factor L (including the diagonal).
+func (c *SparseCholesky) NNZ() int { return len(c.lx) }
+
+// Symbolic returns the symbolic analysis the factor was built against.
+func (c *SparseCholesky) Symbolic() *CholSymbolic { return c.sym }
+
+// Solve returns x with A·x = b.
+func (c *SparseCholesky) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, c.sym.n)
+	if err := c.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A·x = b into dst, mirroring the dense Cholesky API. dst
+// may alias b: the right-hand side is fully gathered into an internal work
+// vector before dst is written. The work vector is pooled, so the call is
+// allocation-free in steady state and safe for concurrent use.
+func (c *SparseCholesky) SolveInto(dst, b []float64) error {
+	n := c.sym.n
+	if len(b) != n || len(dst) != n {
+		return fmt.Errorf("%w: SparseCholesky.SolveInto with len(dst)=%d, len(b)=%d, n=%d",
+			ErrShape, len(dst), len(b), n)
+	}
+	wp := c.pool.Get().(*[]float64)
+	w := *wp
+	perm := c.sym.perm
+	for k := 0; k < n; k++ {
+		w[k] = b[perm[k]]
+	}
+	// Forward: L·y = P·b, column-oriented, in place.
+	for j := 0; j < n; j++ {
+		yj := w[j] / c.lx[c.lp[j]]
+		w[j] = yj
+		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
+			w[c.li[p]] -= c.lx[p] * yj
+		}
+	}
+	// Backward: Lᵀ·z = y, row-oriented over L's columns, in place.
+	for j := n - 1; j >= 0; j-- {
+		s := w[j]
+		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
+			s -= c.lx[p] * w[c.li[p]]
+		}
+		w[j] = s / c.lx[c.lp[j]]
+	}
+	for k := 0; k < n; k++ {
+		dst[perm[k]] = w[k]
+	}
+	c.pool.Put(wp)
+	return nil
+}

@@ -125,14 +125,30 @@ func sum(v []float64) float64 {
 // assumption). Unknown indices are rejected.
 func (p *Profile) TestPowerMap(active []int) ([]float64, error) {
 	out := make([]float64, p.fp.NumBlocks())
-	for _, i := range active {
-		if i < 0 || i >= len(out) {
-			return nil, fmt.Errorf("%w: active core index %d out of range [0,%d)",
-				ErrShape, i, len(out))
-		}
-		out[i] = p.test[i]
+	if err := p.TestPowerMapInto(out, active); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// TestPowerMapInto is TestPowerMap writing into a caller-provided buffer of
+// length NumBlocks — the allocation-free variant hot oracle loops use.
+func (p *Profile) TestPowerMapInto(dst []float64, active []int) error {
+	if len(dst) != p.fp.NumBlocks() {
+		return fmt.Errorf("%w: power buffer has %d entries, floorplan has %d blocks",
+			ErrShape, len(dst), p.fp.NumBlocks())
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, i := range active {
+		if i < 0 || i >= len(dst) {
+			return fmt.Errorf("%w: active core index %d out of range [0,%d)",
+				ErrShape, i, len(dst))
+		}
+		dst[i] = p.test[i]
+	}
+	return nil
 }
 
 // SessionPower returns the summed test power (W) of the given active set —

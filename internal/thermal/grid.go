@@ -4,18 +4,33 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/floorplan"
 	"repro/internal/linalg"
 )
+
+// maxGridFactorNNZ bounds the sparse Cholesky fill GridModel will accept
+// before falling back to preconditioned CG: 2²⁴ factor entries is roughly
+// 200 MB, which comfortably covers grids of ~100k nodes under RCM while
+// keeping pathological resolutions from exhausting memory. The symbolic
+// analysis reports the exact fill before any numeric work, so the decision
+// is free.
+const maxGridFactorNNZ = 1 << 24
 
 // GridModel is the fine-grained counterpart of the block Model: the die is
 // discretised into a regular nx×ny cell grid (HotSpot's "grid mode"),
 // resolving intra-block temperature gradients that the block model averages
 // away. It exists to validate the block model — the two are independent
 // discretisations of the same package — and for visualising temperature
-// fields. The solver is Jacobi-preconditioned CG on a sparse conductance
-// matrix, so grids of tens of thousands of cells remain tractable.
+// fields.
+//
+// The steady-state backend is a fill-reducing sparse Cholesky factored once
+// at construction, so every SteadyState query costs two sparse triangular
+// solves — the property that makes per-session oracle sweeps over one
+// floorplan cheap at grid scale. Resolutions whose factor would exceed
+// maxGridFactorNNZ fall back to IC(0)-preconditioned conjugate gradients
+// with pooled scratch. GridModel is safe for concurrent queries.
 //
 // Node layout for nc = nx·ny cells: [0, nc) silicon, [nc, 2nc) spreader,
 // 2nc rim, 2nc+1 sink; ambient is the eliminated ground.
@@ -26,6 +41,11 @@ type GridModel struct {
 	cellW  float64
 	cellH  float64
 	sys    *linalg.Sparse
+
+	chol    *linalg.SparseCholesky // direct backend; nil → iterative fallback
+	precond linalg.Preconditioner  // CG preconditioner on the fallback path
+	cgPool  sync.Pool              // *linalg.CGScratch for the fallback
+	rhsPool sync.Pool              // *[]float64 node-vector buffers
 
 	// cellPowerWeight[b] lists (cell, fraction) pairs: fraction of block
 	// b's power deposited in that cell.
@@ -61,8 +81,77 @@ func NewGridModel(fp *floorplan.Floorplan, cfg PackageConfig, nx, ny int) (*Grid
 	}
 	g.mapBlocks()
 	g.assemble()
+	if err := g.buildSolver(); err != nil {
+		return nil, err
+	}
+	size := 2*g.numCells() + 2
+	g.rhsPool.New = func() any {
+		b := make([]float64, size)
+		return &b
+	}
+	g.cgPool.New = func() any { return &linalg.CGScratch{} }
 	return g, nil
 }
+
+// buildSolver factorizes the assembled system once — the symbolic analysis
+// predicts the exact fill, steering oversized grids onto the preconditioned
+// CG fallback instead of an out-of-memory factor.
+func (g *GridModel) buildSolver() error {
+	sym, err := linalg.NewCholSymbolic(g.sys, nil)
+	if err != nil {
+		return fmt.Errorf("%w: grid system not SPD: %v", ErrModel, err)
+	}
+	if sym.LNNZ() <= maxGridFactorNNZ {
+		ch, err := sym.Factorize(g.sys)
+		if err != nil {
+			return fmt.Errorf("%w: grid system not SPD: %v", ErrModel, err)
+		}
+		g.chol = ch
+		return nil
+	}
+	// Iterative fallback: IC(0) cannot break down on conductance matrices
+	// (M-matrices), but guard anyway and degrade to Jacobi.
+	if ic, err := linalg.NewIC0(g.sys); err == nil {
+		g.precond = ic
+	} else if jac, err := linalg.NewJacobiPrecond(g.sys); err == nil {
+		g.precond = jac
+	} else {
+		return fmt.Errorf("%w: grid system not SPD: %v", ErrModel, err)
+	}
+	return nil
+}
+
+// SolverBackend reports the steady-state backend this grid resolution ended
+// up with: "sparse-cholesky" or the iterative fallback ("cg-ic0",
+// "cg-jacobi").
+func (g *GridModel) SolverBackend() string {
+	switch {
+	case g.chol != nil:
+		return "sparse-cholesky"
+	case g.precond != nil:
+		if _, ok := g.precond.(*linalg.IC0); ok {
+			return "cg-ic0"
+		}
+		return "cg-jacobi"
+	default:
+		return "unknown"
+	}
+}
+
+// FactorNNZ returns the non-zero count of the cached Cholesky factor, or 0 on
+// the iterative fallback.
+func (g *GridModel) FactorNNZ() int {
+	if g.chol == nil {
+		return 0
+	}
+	return g.chol.NNZ()
+}
+
+// NNZ returns the non-zero count of the assembled conductance matrix.
+func (g *GridModel) NNZ() int { return g.sys.NNZ() }
+
+// NumNodes returns the total node count (silicon + spreader + rim + sink).
+func (g *GridModel) NumNodes() int { return 2*g.numCells() + 2 }
 
 // cellID maps grid coordinates to the silicon node index.
 func (g *GridModel) cellID(x, y int) int { return y*g.nx + x }
@@ -169,6 +258,24 @@ func (g *GridModel) assemble() {
 	g.sys = b.Build()
 }
 
+// depositPower zeroes rhs (length NumNodes) and deposits each block's power
+// uniformly over its silicon footprint — the one right-hand-side assembly
+// both the factored and the baseline CG query paths share.
+func (g *GridModel) depositPower(rhs, power []float64) error {
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	for bi, p := range power {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("%w: power[%d] = %g", ErrPowerShape, bi, p)
+		}
+		for _, cs := range g.cellPowerWeight[bi] {
+			rhs[cs.cell] += p * cs.frac
+		}
+	}
+	return nil
+}
+
 // GridResult is the steady-state field of a grid solve.
 type GridResult struct {
 	model *GridModel
@@ -176,20 +283,57 @@ type GridResult struct {
 }
 
 // SteadyState solves the grid for a per-block power map (W). Block power is
-// deposited uniformly over the block footprint.
+// deposited uniformly over the block footprint. The factorization built at
+// construction is reused, so a query costs two sparse triangular solves (or
+// one preconditioned CG run past the factor budget); scratch vectors are
+// pooled, leaving the returned temperature field as the only allocation.
 func (g *GridModel) SteadyState(power []float64) (*GridResult, error) {
 	if len(power) != g.fp.NumBlocks() {
 		return nil, fmt.Errorf("%w: got %d entries, floorplan has %d blocks",
 			ErrPowerShape, len(power), g.fp.NumBlocks())
 	}
-	rhs := make([]float64, 2*g.numCells()+2)
-	for bi, p := range power {
-		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
-			return nil, fmt.Errorf("%w: power[%d] = %g", ErrPowerShape, bi, p)
-		}
-		for _, cs := range g.cellPowerWeight[bi] {
-			rhs[cs.cell] += p * cs.frac
-		}
+	rhsP := g.rhsPool.Get().(*[]float64)
+	rhs := *rhsP
+	if err := g.depositPower(rhs, power); err != nil {
+		g.rhsPool.Put(rhsP)
+		return nil, err
+	}
+	temps := make([]float64, len(rhs))
+	var err error
+	if g.chol != nil {
+		err = g.chol.SolveInto(temps, rhs)
+	} else {
+		sc := g.cgPool.Get().(*linalg.CGScratch)
+		_, err = g.sys.SolveCGInto(temps, rhs, linalg.CGOptions{
+			Tol:     1e-9,
+			Precond: g.precond,
+			Scratch: sc,
+		})
+		g.cgPool.Put(sc)
+	}
+	g.rhsPool.Put(rhsP)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: grid solve: %w", err)
+	}
+	for i := range temps {
+		temps[i] += g.cfg.Ambient
+	}
+	return &GridResult{model: g, temps: temps}, nil
+}
+
+// SteadyStateCG solves the grid with a from-scratch Jacobi-preconditioned CG
+// run at tol 1e-9, bypassing the cached factorization — the per-query cost
+// every solve paid before the sparse direct backend existed. It is retained
+// as the honest comparison baseline for benchmarks and cross-validation
+// tests; production queries should use SteadyState.
+func (g *GridModel) SteadyStateCG(power []float64) (*GridResult, error) {
+	if len(power) != g.fp.NumBlocks() {
+		return nil, fmt.Errorf("%w: got %d entries, floorplan has %d blocks",
+			ErrPowerShape, len(power), g.fp.NumBlocks())
+	}
+	rhs := make([]float64, g.NumNodes())
+	if err := g.depositPower(rhs, power); err != nil {
+		return nil, err
 	}
 	rise, err := g.sys.SolveCG(rhs, linalg.CGOptions{Tol: 1e-9})
 	if err != nil {

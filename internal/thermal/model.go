@@ -28,10 +28,27 @@ var ErrModel = errors.New("thermal: invalid model")
 // block count.
 var ErrPowerShape = errors.New("thermal: power vector length mismatch")
 
+// spdSolver is the steady-state backend contract both Cholesky
+// factorizations satisfy: an allocation-free triangular solve against a
+// cached factor. dst may alias b for both implementations.
+type spdSolver interface {
+	SolveInto(dst, b []float64) error
+}
+
+// sparseNodeCutoff is the node count above which Model switches from the
+// dense to the sparse Cholesky backend. The conductance graph of an n-block
+// floorplan has O(n) edges, so past a couple hundred nodes the dense factor
+// pays O(n³) for a matrix that is almost entirely zeros; the measured
+// crossover (see PERF.md) is well below this, but small models keep the
+// dense path for its unbeatable constant factors and simplicity.
+const sparseNodeCutoff = 128
+
 // Model is an immutable compact RC thermal model of one floorplan in one
-// package. Construction assembles and factorizes the conductance matrix, so
-// repeated steady-state queries cost only two triangular solves. A Model is
-// safe for concurrent use.
+// package. Construction assembles the conductance graph sparsely and
+// factorizes it with the backend matching its size — dense Cholesky for
+// small block models, fill-reducing sparse Cholesky for grid-scale ones — so
+// repeated steady-state queries cost only two triangular solves over the
+// factor. A Model is safe for concurrent use.
 type Model struct {
 	fp   *floorplan.Floorplan
 	adj  *floorplan.Adjacency
@@ -39,36 +56,42 @@ type Model struct {
 	n    int // block count
 	size int // total node count = 2n+2
 
-	g    *linalg.Matrix   // conductance matrix (ambient eliminated), W/K
-	gs   *linalg.Sparse   // same matrix in CSR form, for allocation-free MulVec
-	caps []float64        // per-node heat capacity, J/K
-	chol *linalg.Cholesky // cached factorization of g
+	g      *linalg.Matrix // dense conductance copy; nil on the sparse backend
+	gs     *linalg.Sparse // conductance matrix in CSR form (always present)
+	caps   []float64      // per-node heat capacity, J/K
+	diag   []float64      // conductance diagonal, for RK4 stability bounds
+	solver spdSolver      // cached factorization of the conductance matrix
 
 	// cnMu guards cnOps, the per-step-size Crank–Nicolson operators. Each
 	// transient run with a new step size assembles and factorizes once; every
 	// subsequent run (including the fractional tail of a repeated horizon)
 	// reuses the cached triple. The cache is bounded: a long-lived Model
 	// serving arbitrary per-request durations would otherwise accumulate one
-	// dense factorization per distinct step size forever, so once
-	// maxCNOps entries exist the oldest insertion is evicted.
+	// factorization per distinct step size forever, so once maxCNOps entries
+	// exist the oldest insertion is evicted. On the sparse backend all step
+	// sizes share one symbolic analysis (cnSym): the CN left matrix has
+	// exactly the conductance pattern for every h, so only the numeric
+	// factorization reruns and transients scale with nnz rather than size².
 	cnMu    sync.Mutex
 	cnOps   map[float64]*cnOp
 	cnOrder []float64 // insertion order of cnOps keys, for eviction
+	cnSym   *linalg.CholSymbolic
 }
 
 // maxCNOps bounds the cached Crank–Nicolson operator pairs per Model. A pair
-// costs O(size²) memory (two dense triangular factors), so the bound keeps a
-// long-lived Model's footprint fixed while still covering every step size a
-// realistic workload cycles through (a run touches at most two: the main
-// step and a fractional tail).
+// costs O(size²) memory on the dense backend (two triangular factors) and
+// O(nnz(L)) on the sparse one, so the bound keeps a long-lived Model's
+// footprint fixed while still covering every step size a realistic workload
+// cycles through (a run touches at most two: the main step and a fractional
+// tail).
 const maxCNOps = 16
 
 // cnOp is the cached Crank–Nicolson operator pair for one step size h:
 // the factorized left matrix A = C/h + G/2 and the sparse right matrix
 // B = C/h − G/2.
 type cnOp struct {
-	chol *linalg.Cholesky
-	b    *linalg.Sparse
+	solver spdSolver
+	b      *linalg.Sparse
 }
 
 // NewModel builds the RC network for fp in the given package. The spreader
@@ -90,15 +113,37 @@ func NewModel(fp *floorplan.Floorplan, cfg PackageConfig) (*Model, error) {
 		size: 2*fp.NumBlocks() + 2,
 	}
 	m.assemble()
-	ch, err := linalg.NewCholesky(m.g)
-	if err != nil {
-		// The assembled matrix is SPD by construction; failure here means a
-		// degenerate floorplan (e.g. zero-area blocks slipped past
-		// validation) and is reported, not panicked, to keep the CLI usable.
-		return nil, fmt.Errorf("%w: conductance matrix not SPD: %v", ErrModel, err)
+	// The assembled matrix is SPD by construction; failure here means a
+	// degenerate floorplan (e.g. zero-area blocks slipped past validation)
+	// and is reported, not panicked, to keep the CLI usable.
+	if m.size <= sparseNodeCutoff {
+		m.g = m.gs.Dense()
+		ch, err := linalg.NewCholesky(m.g)
+		if err != nil {
+			return nil, fmt.Errorf("%w: conductance matrix not SPD: %v", ErrModel, err)
+		}
+		m.solver = ch
+	} else {
+		ch, err := linalg.NewSparseCholesky(m.gs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: conductance matrix not SPD: %v", ErrModel, err)
+		}
+		m.solver = ch
+		// The CN left matrices share the conductance pattern (MapValues keeps
+		// the index slices), so the transient cache reuses this symbolic
+		// analysis instead of re-ordering the same graph on first use.
+		m.cnSym = ch.Symbolic()
 	}
-	m.chol = ch
 	return m, nil
+}
+
+// SolverBackend reports which steady-state backend the model picked:
+// "dense-cholesky" below the node cutoff, "sparse-cholesky" above it.
+func (m *Model) SolverBackend() string {
+	if m.g != nil {
+		return "dense-cholesky"
+	}
+	return "sparse-cholesky"
 }
 
 // spreaderNode returns the node index of the spreader cell under block i.
@@ -110,24 +155,12 @@ func (m *Model) rimNode() int { return 2 * m.n }
 // sinkNode returns the heat-sink node index.
 func (m *Model) sinkNode() int { return 2*m.n + 1 }
 
-// addG inserts a conductance g between nodes a and b (symmetric stencil).
-func addG(gm *linalg.Matrix, a, b int, g float64) {
-	gm.Add(a, a, g)
-	gm.Add(b, b, g)
-	gm.Add(a, b, -g)
-	gm.Add(b, a, -g)
-}
-
-// addGround inserts a conductance g from node a to the ambient ground.
-func addGround(gm *linalg.Matrix, a int, g float64) {
-	gm.Add(a, a, g)
-}
-
-// assemble builds the conductance matrix and the capacitance vector.
+// assemble builds the conductance matrix (sparsely — the graph has O(n)
+// edges) and the capacitance vector.
 func (m *Model) assemble() {
 	cfg := m.cfg
 	die := m.fp.Die()
-	gm := linalg.NewSquare(m.size)
+	gm := linalg.NewSparseBuilder(m.size)
 	caps := make([]float64, m.size)
 
 	rimArea := cfg.SpreaderSide*cfg.SpreaderSide - die.W*die.H
@@ -143,7 +176,7 @@ func (m *Model) assemble() {
 		// twice (i→j and j→i), so insert half the conductance per visit.
 		for _, nb := range m.adj.Neighbors(i) {
 			g := cfg.KSilicon * cfg.DieThickness * nb.SharedLen / nb.PathLen
-			addG(gm, i, nb.Index, g/2)
+			gm.AddConductance(i, nb.Index, g/2)
 		}
 
 		// Vertical: silicon node → spreader node through half the die, the
@@ -151,13 +184,13 @@ func (m *Model) assemble() {
 		rVert := cfg.DieThickness/(2*cfg.KSilicon*area) +
 			cfg.TIMThickness/(cfg.KTIM*area) +
 			cfg.SpreaderThickness/(2*cfg.KSpreader*area)
-		addG(gm, i, m.spreaderNode(i), 1/rVert)
+		gm.AddConductance(i, m.spreaderNode(i), 1/rVert)
 
 		// Lateral spreader conduction mirrors the silicon adjacency with the
 		// spreader's own conductivity and thickness.
 		for _, nb := range m.adj.Neighbors(i) {
 			g := cfg.KSpreader * cfg.SpreaderThickness * nb.SharedLen / nb.PathLen
-			addG(gm, m.spreaderNode(i), m.spreaderNode(nb.Index), g/2)
+			gm.AddConductance(m.spreaderNode(i), m.spreaderNode(nb.Index), g/2)
 		}
 
 		// Boundary blocks feed the spreader rim through their die-edge
@@ -169,14 +202,14 @@ func (m *Model) assemble() {
 			}
 			path := m.distToDieEdge(blk.Rect, rc.Side) + overhang/2
 			g := cfg.KSpreader * cfg.SpreaderThickness * rc.Len / path
-			addG(gm, m.spreaderNode(i), m.rimNode(), g)
+			gm.AddConductance(m.spreaderNode(i), m.rimNode(), g)
 		}
 
 		// Spreader node → sink node through the remaining spreader half and
 		// half the sink base.
 		rDown := cfg.SpreaderThickness/(2*cfg.KSpreader*area) +
 			cfg.SinkThickness/(2*cfg.KSink*area)
-		addG(gm, m.spreaderNode(i), m.sinkNode(), 1/rDown)
+		gm.AddConductance(m.spreaderNode(i), m.sinkNode(), 1/rDown)
 
 		// Heat capacities: silicon block plus half the TIM above it; the
 		// spreader cell takes the other TIM half.
@@ -188,33 +221,17 @@ func (m *Model) assemble() {
 	// Rim → sink.
 	rRim := cfg.SpreaderThickness/(2*cfg.KSpreader*rimArea) +
 		cfg.SinkThickness/(2*cfg.KSink*rimArea)
-	addG(gm, m.rimNode(), m.sinkNode(), 1/rRim)
+	gm.AddConductance(m.rimNode(), m.sinkNode(), 1/rRim)
 	caps[m.rimNode()] = cfg.CSpreader * rimArea * cfg.SpreaderThickness
 
 	// Sink → ambient convection.
-	addGround(gm, m.sinkNode(), 1/cfg.ConvectionR)
+	gm.AddGround(m.sinkNode(), 1/cfg.ConvectionR)
 	caps[m.sinkNode()] = cfg.CSink*cfg.SpreaderSide*cfg.SpreaderSide*cfg.SinkThickness +
 		cfg.ConvectionC
 
-	m.g = gm
-	m.gs = sparseFromDense(gm)
+	m.gs = gm.Build()
+	m.diag = m.gs.Diagonal()
 	m.caps = caps
-}
-
-// sparseFromDense compiles the non-zero entries of a dense square matrix into
-// CSR form.
-func sparseFromDense(d *linalg.Matrix) *linalg.Sparse {
-	n := d.Rows()
-	sb := linalg.NewSparseBuilder(n)
-	for i := 0; i < n; i++ {
-		row := d.Row(i)
-		for j, v := range row {
-			if v != 0 {
-				sb.Add(i, j, v)
-			}
-		}
-	}
-	return sb.Build()
 }
 
 // cnOpFor returns the Crank–Nicolson operator pair for step size h, building
@@ -225,27 +242,58 @@ func (m *Model) cnOpFor(h float64) (*cnOp, error) {
 	if op, ok := m.cnOps[h]; ok {
 		return op, nil
 	}
-	// Left matrix A = C/h + G/2 (dense, factorized once); right matrix
-	// B = C/h − G/2 (sparse, multiplied every step).
-	a := linalg.NewSquare(m.size)
-	sb := linalg.NewSparseBuilder(m.size)
-	for i := 0; i < m.size; i++ {
-		row := m.g.Row(i)
-		arow := a.Row(i)
-		for j, v := range row {
-			if v != 0 {
-				arow[j] = v / 2
-				sb.Add(i, j, -v/2)
-			}
+	// Left matrix A = C/h + G/2 (factorized once per step size); right matrix
+	// B = C/h − G/2 (sparse, multiplied every step). Both derive from the
+	// conductance pattern via MapValues — every node has a non-zero diagonal
+	// (at least one conductance or ground tie), so the C/h term lands on a
+	// stored entry.
+	bs := m.gs.MapValues(func(i, j int, v float64) float64 {
+		if i == j {
+			return m.caps[i]/h - v/2
 		}
-		arow[i] += m.caps[i] / h
-		sb.Add(i, i, m.caps[i]/h)
+		return -v / 2
+	})
+	var solver spdSolver
+	if m.g != nil {
+		// Dense backend: expand A and factorize densely.
+		a := linalg.NewSquare(m.size)
+		for i := 0; i < m.size; i++ {
+			cols, vals := m.gs.RowNZ(i)
+			arow := a.Row(i)
+			for k, j := range cols {
+				arow[j] = vals[k] / 2
+			}
+			arow[i] += m.caps[i] / h
+		}
+		ch, err := linalg.NewCholesky(a)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: CN matrix not SPD: %w", err)
+		}
+		solver = ch
+	} else {
+		// Sparse backend: A has the conductance pattern for every h, so all
+		// step sizes share one symbolic analysis and only the numeric
+		// factorization reruns.
+		as := m.gs.MapValues(func(i, j int, v float64) float64 {
+			if i == j {
+				return m.caps[i]/h + v/2
+			}
+			return v / 2
+		})
+		if m.cnSym == nil {
+			sym, err := linalg.NewCholSymbolic(as, nil)
+			if err != nil {
+				return nil, fmt.Errorf("thermal: CN matrix not SPD: %w", err)
+			}
+			m.cnSym = sym
+		}
+		ch, err := m.cnSym.Factorize(as)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: CN matrix not SPD: %w", err)
+		}
+		solver = ch
 	}
-	ch, err := linalg.NewCholesky(a)
-	if err != nil {
-		return nil, fmt.Errorf("thermal: CN matrix not SPD: %w", err)
-	}
-	op := &cnOp{chol: ch, b: sb.Build()}
+	op := &cnOp{solver: solver, b: bs}
 	if m.cnOps == nil {
 		m.cnOps = make(map[float64]*cnOp)
 	}
@@ -307,9 +355,19 @@ func (m *Model) NumBlocks() int { return m.n }
 // NumNodes returns the total node count of the RC network.
 func (m *Model) NumNodes() int { return m.size }
 
-// Conductance returns a copy of the assembled conductance matrix (W/K),
-// mainly for tests and diagnostics.
-func (m *Model) Conductance() *linalg.Matrix { return m.g.Clone() }
+// Conductance returns a copy of the assembled conductance matrix (W/K) in
+// dense form, mainly for tests and diagnostics. On the sparse backend the
+// expansion costs O(size²); use ConductanceSparse for grid-scale models.
+func (m *Model) Conductance() *linalg.Matrix {
+	if m.g != nil {
+		return m.g.Clone()
+	}
+	return m.gs.Dense()
+}
+
+// ConductanceSparse returns the assembled conductance matrix in CSR form
+// (shared, immutable).
+func (m *Model) ConductanceSparse() *linalg.Sparse { return m.gs }
 
 // Capacitances returns a copy of the per-node heat capacities (J/K).
 func (m *Model) Capacitances() []float64 {
@@ -320,17 +378,33 @@ func (m *Model) Capacitances() []float64 {
 
 // expandPower pads a per-block power vector to the full node vector.
 func (m *Model) expandPower(power []float64) ([]float64, error) {
+	full := make([]float64, m.size)
+	if err := m.expandPowerInto(full, power); err != nil {
+		return nil, err
+	}
+	return full, nil
+}
+
+// expandPowerInto validates power and writes the padded node vector into
+// full, which must have length NumNodes. No allocations.
+func (m *Model) expandPowerInto(full, power []float64) error {
 	if len(power) != m.n {
-		return nil, fmt.Errorf("%w: got %d entries, floorplan has %d blocks",
+		return fmt.Errorf("%w: got %d entries, floorplan has %d blocks",
 			ErrPowerShape, len(power), m.n)
 	}
-	full := make([]float64, m.size)
+	if len(full) != m.size {
+		return fmt.Errorf("%w: node buffer has %d entries, model has %d nodes",
+			ErrPowerShape, len(full), m.size)
+	}
 	for i, p := range power {
 		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
-			return nil, fmt.Errorf("%w: power[%d] = %g, must be finite and >= 0",
+			return fmt.Errorf("%w: power[%d] = %g, must be finite and >= 0",
 				ErrPowerShape, i, p)
 		}
 		full[i] = p
 	}
-	return full, nil
+	for i := m.n; i < m.size; i++ {
+		full[i] = 0
+	}
+	return nil
 }

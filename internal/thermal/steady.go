@@ -16,23 +16,34 @@ type SteadyResult struct {
 
 // SteadyState solves G·ΔT = P for the given per-block power map (W) and
 // returns absolute temperatures. The factorization is reused across calls,
-// so a query on an n-block plan costs O(n²).
+// so a query costs two triangular solves (O(n²) dense, O(nnz(L)) sparse).
 func (m *Model) SteadyState(power []float64) (*SteadyResult, error) {
-	full, err := m.expandPower(power)
-	if err != nil {
-		return nil, err
-	}
-	rise, err := m.chol.Solve(full)
-	if err != nil {
-		return nil, fmt.Errorf("thermal: steady-state solve: %w", err)
-	}
 	temps := make([]float64, m.size)
-	for i, dt := range rise {
-		temps[i] = m.cfg.Ambient + dt
+	if err := m.SteadyStateInto(temps, power); err != nil {
+		return nil, err
 	}
 	pc := make([]float64, len(power))
 	copy(pc, power)
 	return &SteadyResult{model: m, temps: temps, power: pc}, nil
+}
+
+// SteadyStateInto is the allocation-free steady-state query: it validates
+// power, solves in place and writes absolute temperatures (°C) for every
+// node into temps, which must have length NumNodes. Hot callers (the
+// simulation oracle inside sweep loops) reuse one buffer across queries;
+// block temperatures are temps[:NumBlocks]. Safe for concurrent use with
+// distinct buffers.
+func (m *Model) SteadyStateInto(temps, power []float64) error {
+	if err := m.expandPowerInto(temps, power); err != nil {
+		return err
+	}
+	if err := m.solver.SolveInto(temps, temps); err != nil {
+		return fmt.Errorf("thermal: steady-state solve: %w", err)
+	}
+	for i, dt := range temps {
+		temps[i] = m.cfg.Ambient + dt
+	}
+	return nil
 }
 
 // BlockTemp returns the silicon temperature of block i (°C).

@@ -194,7 +194,7 @@ func (m *Model) integrateCN(power, rise []float64, duration, step, sampleEvery f
 		for i := range rhs {
 			rhs[i] += power[i]
 		}
-		return o.chol.SolveInto(rise, rhs)
+		return o.solver.SolveInto(rise, rhs)
 	}
 	t, nextSample := 0.0, sampleEvery
 	record(0, rise)
@@ -235,7 +235,7 @@ func (m *Model) integrateRK4(power, rise []float64, duration, step, sampleEvery 
 	// dominant G). Use a 2× safety margin.
 	var lambdaMax float64
 	for i := 0; i < m.size; i++ {
-		if l := m.g.At(i, i) / m.caps[i]; l > lambdaMax {
+		if l := m.diag[i] / m.caps[i]; l > lambdaMax {
 			lambdaMax = l
 		}
 	}
