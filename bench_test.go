@@ -16,6 +16,7 @@ import (
 	thermalsched "repro"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/oraclestore"
 )
 
 func mustEnv(b *testing.B) *experiments.Env {
@@ -126,6 +127,66 @@ func BenchmarkTable1Parallel(b *testing.B) {
 	perOp := b.Elapsed() / time.Duration(b.N)
 	if perOp > 0 {
 		b.ReportMetric(float64(serial)/float64(perOp), "speedup_x")
+	}
+}
+
+// BenchmarkFleetSweep drives the default 8-scenario fleet (two builtins plus
+// six random SoCs) through the shared worker pool — one generator run per
+// (scenario, TL, STCL) cell, 48 cells total, per-Env tier-1 caches.
+func BenchmarkFleetSweep(b *testing.B) {
+	scens, err := experiments.DefaultFleet(8, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet := &experiments.Fleet{Scenarios: scens, Parallel: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1WarmStore measures the persistent store's acceptance
+// criterion: the full Table 1 flow (fresh process state per iteration —
+// fresh store handle, fresh Env, fresh tier-1 cache) against a warm
+// content-addressed store, with the grid-resolution oracle whose lazy
+// construction a fully warm run skips entirely. The cold flow is timed once
+// in the same process and reported as speedup_x = cold / warm; the
+// acceptance bar is ≥5×.
+func BenchmarkTable1WarmStore(b *testing.B) {
+	const gridRes = 48
+	dir := b.TempDir()
+	spec := thermalsched.AlphaWorkload()
+	cfg := thermalsched.DefaultPackage()
+	runOnce := func() time.Duration {
+		start := time.Now()
+		st, err := oraclestore.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env, err := experiments.NewEnvWithOptions(spec, cfg, experiments.EnvOptions{Store: st, GridRes: gridRes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.RunTable1(env); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	cold := runOnce() // empty store: simulates everything, populates the dir
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce()
+	}
+	perOp := b.Elapsed() / time.Duration(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(cold)/float64(perOp), "speedup_x")
+		b.ReportMetric(float64(cold.Microseconds())/1e3, "cold_ms")
+		b.ReportMetric(float64(perOp.Microseconds())/1e3, "warm_ms")
 	}
 }
 

@@ -6,27 +6,58 @@
 //	experiments                 # everything
 //	experiments -run fig1       # one artifact: fig1, fig5, table1, claims,
 //	                            # weights, ordering, fidelity, baseline, scaling
+//	experiments -run fleet -fleet 16 -parallel -cachedir .oracle-cache
+//
+// With -cachedir every distinct thermal simulation is persisted to a
+// content-addressed store, so repeated invocations (any experiment, any
+// order) warm-start from disk instead of re-simulating. With -gridoracle N
+// session validation runs on an N×N grid-resolution thermal model — the
+// simulation-heavy configuration the persistent store pays off most on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/oraclestore"
+	"repro/internal/testspec"
+	"repro/internal/thermal"
 )
+
+// options carries the flag values into run.
+type options struct {
+	parallel   bool
+	gridres    []int
+	cacheDir   string
+	gridOracle int
+	fleetSize  int
+	fleetSeed  int64
+}
 
 func main() {
 	var (
 		which = flag.String("run", "all",
-			"experiment: all, fig1, fig5, table1, claims, weights, ordering, fidelity, baseline, scaling, oracle, gap, gridcheck, gridres")
+			"experiment: all, fig1, fig5, table1, claims, weights, ordering, fidelity, baseline, scaling, oracle, gap, gridcheck, gridres, fleet")
 		parallel = flag.Bool("parallel", false,
 			"fan experiment sweeps across GOMAXPROCS goroutines (tables are byte-identical to serial runs)")
 		gridres = flag.String("gridres", "",
 			"comma-separated grid-resolution ladder for -run gridres (e.g. 32,64,128); "+
 				"runs the Table 1 flow per resolution and prints solver backend and factor/solve timings")
+		cacheDir = flag.String("cachedir", "",
+			"directory of the persistent oracle store; repeated runs warm-start from it across processes")
+		gridOracle = flag.Int("gridoracle", 0,
+			"validate sessions on an NxN grid-resolution model instead of the block model (0 = block)")
+		fleetSize = flag.Int("fleet", 8,
+			"scenario count for -run fleet (builtins + seeded random-floorplan ladder)")
+		fleetSeed = flag.Int64("seed", 11, "base seed for the fleet's random scenarios")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -35,10 +66,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	if err := run(*which, *parallel, ladder); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+
+	// Profiles are finalized before any exit path below: a profile of a
+	// *failing* run is precisely when you want readable pprof output, so
+	// no os.Exit may come between StartCPUProfile and the stop.
+	var cpuFile *os.File
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+
+	runErr := run(*which, options{
+		parallel:   *parallel,
+		gridres:    ladder,
+		cacheDir:   *cacheDir,
+		gridOracle: *gridOracle,
+		fleetSize:  *fleetSize,
+		fleetSeed:  *fleetSeed,
+	})
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+	if *memProf != "" {
+		if err := writeHeapProfile(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+			if runErr == nil {
+				os.Exit(1)
+			}
+		}
+	}
+
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
+}
+
+// writeHeapProfile snapshots the heap after a GC into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseGridRes parses the -gridres ladder; empty selects the default rungs.
@@ -57,9 +143,19 @@ func parseGridRes(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(which string, parallel bool, gridres []int) error {
+func run(which string, opts options) error {
 	wants := func(name string) bool { return which == "all" || which == name }
 	ran := false
+
+	var store *oraclestore.Store
+	if opts.cacheDir != "" {
+		var err error
+		store, err = oraclestore.Open(opts.cacheDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	}
 
 	if wants("fig1") {
 		ran = true
@@ -79,11 +175,14 @@ func run(which string, parallel bool, gridres []int) error {
 	}
 	if needEnv {
 		var err error
-		env, err = experiments.AlphaEnv()
+		env, err = experiments.NewEnvWithOptions(testspec.Alpha21364(), thermal.DefaultPackageConfig(), experiments.EnvOptions{
+			Store:   store,
+			GridRes: opts.gridOracle,
+		})
 		if err != nil {
 			return err
 		}
-		env.Parallel = parallel
+		env.Parallel = opts.parallel
 	}
 
 	if wants("fig5") {
@@ -168,7 +267,7 @@ func run(which string, parallel bool, gridres []int) error {
 	}
 	if wants("gridres") {
 		ran = true
-		res, err := experiments.RunGridScale(env, gridres)
+		res, err := experiments.RunGridScale(env, opts.gridres)
 		if err != nil {
 			return err
 		}
@@ -176,7 +275,25 @@ func run(which string, parallel bool, gridres []int) error {
 	}
 	if wants("scaling") {
 		ran = true
-		res, err := experiments.RunScaling([]int{15, 30, 60, 120}, 11, parallel)
+		res, err := experiments.RunScaling([]int{15, 30, 60, 120}, 11, opts.parallel)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if wants("fleet") {
+		ran = true
+		scens, err := experiments.DefaultFleet(opts.fleetSize, opts.fleetSeed)
+		if err != nil {
+			return err
+		}
+		fl := &experiments.Fleet{
+			Scenarios: scens,
+			Parallel:  opts.parallel,
+			Store:     store,
+			GridRes:   opts.gridOracle,
+		}
+		res, err := fl.Run()
 		if err != nil {
 			return err
 		}
@@ -190,8 +307,13 @@ func run(which string, parallel bool, gridres []int) error {
 		hits, misses := env.Oracle.Stats()
 		total := hits + misses
 		if total > 0 {
-			fmt.Printf("oracle cache: %d queries, %d simulated, %d served from cache (%.1f%% hit rate)\n",
+			fmt.Printf("oracle cache: %d queries, %d distinct, %d served from cache (%.1f%% hit rate)\n",
 				total, misses, hits, 100*float64(hits)/float64(total))
+		}
+		if env.StoreCache != nil {
+			sh, sm := env.StoreCache.Stats()
+			fmt.Printf("oracle store: %d loaded at open, %d answered from disk, %d simulated and persisted\n",
+				env.StoreCache.Loaded(), sh, sm)
 		}
 	}
 	return nil

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperiments(t *testing.T) {
 	if testing.Short() {
@@ -9,7 +12,7 @@ func TestRunSingleExperiments(t *testing.T) {
 	// "all" is exercised implicitly by the individual runs; keep the test
 	// fast by running the cheap artifacts individually.
 	for _, which := range []string{"fig1", "claims", "fidelity", "baseline"} {
-		if err := run(which, which == "baseline", nil); err != nil {
+		if err := run(which, options{parallel: which == "baseline"}); err != nil {
 			t.Errorf("run(%q): %v", which, err)
 		}
 	}
@@ -19,13 +22,41 @@ func TestRunGridResLadder(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grid ladder in -short mode")
 	}
-	if err := run("gridres", false, []int{8, 12}); err != nil {
+	if err := run("gridres", options{gridres: []int{8, 12}}); err != nil {
 		t.Errorf("run(gridres): %v", err)
 	}
 }
 
+func TestRunFleetWithStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sweep in -short mode")
+	}
+	dir := filepath.Join(t.TempDir(), "cache")
+	opts := options{fleetSize: 3, fleetSeed: 7, cacheDir: dir, parallel: true}
+	if err := run("fleet", opts); err != nil {
+		t.Fatalf("cold fleet: %v", err)
+	}
+	// Warm re-run over the same store.
+	if err := run("fleet", opts); err != nil {
+		t.Fatalf("warm fleet: %v", err)
+	}
+}
+
+func TestRunTable1WithCacheDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 in -short mode")
+	}
+	dir := filepath.Join(t.TempDir(), "cache")
+	if err := run("table1", options{cacheDir: dir}); err != nil {
+		t.Fatalf("cold table1: %v", err)
+	}
+	if err := run("table1", options{cacheDir: dir}); err != nil {
+		t.Fatalf("warm table1: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", false, nil); err == nil {
+	if err := run("bogus", options{}); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }

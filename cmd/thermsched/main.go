@@ -17,10 +17,10 @@ import (
 	"fmt"
 	"os"
 
+	thermalsched "repro"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/schedule"
-	"repro/internal/thermal"
 )
 
 func main() {
@@ -36,13 +36,38 @@ func main() {
 		verbose  = flag.Bool("v", false, "print BCMT and per-session detail")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
 		savePath = flag.String("save", "", "write the schedule to this file in the text schedule format")
+		cacheDir = flag.String("cachedir", "",
+			"directory of the persistent oracle store; repeated invocations warm-start from it")
 	)
 	flag.Parse()
 
-	if err := run(*workload, *flpPath, *specPath, *tl, *stcl, *growth, *orderStr, *autoTL, *verbose, *jsonOut, *savePath); err != nil {
+	err := run(options{
+		workload: *workload,
+		flpPath:  *flpPath,
+		specPath: *specPath,
+		tl:       *tl,
+		stcl:     *stcl,
+		growth:   *growth,
+		order:    *orderStr,
+		autoTL:   *autoTL,
+		verbose:  *verbose,
+		jsonOut:  *jsonOut,
+		savePath: *savePath,
+		cacheDir: *cacheDir,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "thermsched:", err)
 		os.Exit(1)
 	}
+}
+
+// options carries the flag values into run.
+type options struct {
+	workload, flpPath, specPath string
+	tl, stcl, growth            float64
+	order                       string
+	autoTL, verbose, jsonOut    bool
+	savePath, cacheDir          string
 }
 
 func parseOrder(s string) (core.OrderPolicy, error) {
@@ -66,45 +91,45 @@ type summary struct {
 	Sessions   [][]string `json:"sessions"`
 }
 
-func run(workload, flpPath, specPath string, tl, stcl, growth float64,
-	orderStr string, autoTL, verbose, jsonOut bool, savePath string) error {
-	spec, err := cliutil.LoadWorkload(workload, flpPath, specPath)
+func run(opts options) error {
+	spec, err := cliutil.LoadWorkload(opts.workload, opts.flpPath, opts.specPath)
 	if err != nil {
 		return err
 	}
-	order, err := parseOrder(orderStr)
+	order, err := parseOrder(opts.order)
 	if err != nil {
 		return err
 	}
-	model, err := thermal.NewModel(spec.Floorplan(), thermal.DefaultPackageConfig())
+	// The CLI is a thin front end over the public System API — including the
+	// persistent-cache wiring, so -cachedir demonstrates exactly what
+	// SystemOptions.CacheDir does.
+	sys, err := thermalsched.NewSystemWithOptions(spec, thermalsched.DefaultPackage(),
+		thermalsched.SystemOptions{CacheDir: opts.cacheDir})
 	if err != nil {
 		return err
 	}
-	sm, err := core.NewSessionModel(model, spec.Profile(), 0)
-	if err != nil {
-		return err
-	}
-	res, err := core.Generate(spec, sm, core.NewCachedOracle(core.NewSimOracle(model, spec.Profile())), core.Config{
-		TL:           tl,
-		STCL:         stcl,
-		WeightGrowth: growth,
+	defer sys.Close()
+	res, err := sys.GenerateSchedule(core.Config{
+		TL:           opts.tl,
+		STCL:         opts.stcl,
+		WeightGrowth: opts.growth,
 		Order:        order,
-		AutoRaiseTL:  autoTL,
+		AutoRaiseTL:  opts.autoTL,
 	})
 	if err != nil {
 		return err
 	}
 
-	if savePath != "" {
-		if err := os.WriteFile(savePath, []byte(schedule.Format(res.Schedule, spec)), 0o644); err != nil {
+	if opts.savePath != "" {
+		if err := os.WriteFile(opts.savePath, []byte(schedule.Format(res.Schedule, spec)), 0o644); err != nil {
 			return fmt.Errorf("writing schedule: %w", err)
 		}
 	}
-	if jsonOut {
+	if opts.jsonOut {
 		sum := summary{
 			Workload:   spec.Name(),
 			TL:         res.EffectiveTL,
-			STCL:       stcl,
+			STCL:       opts.stcl,
 			Length:     res.Length,
 			Effort:     res.Effort,
 			MaxTemp:    res.MaxTemp,
@@ -125,7 +150,7 @@ func run(workload, flpPath, specPath string, tl, stcl, growth float64,
 	fmt.Printf("simulation effort:  %.0f s (%d attempts, %d violations)\n",
 		res.Effort, res.Attempts, res.Violations)
 	fmt.Printf("max temperature:    %.2f °C (TL %.1f °C)\n", res.MaxTemp, res.EffectiveTL)
-	if verbose {
+	if opts.verbose {
 		fmt.Println()
 		fmt.Println(res.Describe(spec))
 		fmt.Println("per-core solo max temperatures (BCMT):")

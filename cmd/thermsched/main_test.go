@@ -23,13 +23,13 @@ func TestParseOrder(t *testing.T) {
 }
 
 func TestRunBuiltinWorkload(t *testing.T) {
-	if err := run("alpha21364", "", "", 165, 60, 1.1, "tc-desc", false, true, false, ""); err != nil {
+	if err := run(options{workload: "alpha21364", tl: 165, stcl: 60, growth: 1.1, order: "tc-desc", verbose: true}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunFigure1Workload(t *testing.T) {
-	if err := run("figure1", "", "", 130, 40, 1.1, "input", false, false, true, ""); err != nil {
+	if err := run(options{workload: "figure1", tl: 130, stcl: 40, growth: 1.1, order: "input", jsonOut: true}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -44,26 +44,47 @@ func TestRunCustomFiles(t *testing.T) {
 	if err := os.WriteFile(spec, []byte(testspec.Format(testspec.Figure1())), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", flp, spec, 140, 50, 1.1, "tc-desc", false, false, false, filepath.Join(dir, "out.sched")); err != nil {
+	opts := options{flpPath: flp, specPath: spec, tl: 140, stcl: 50, growth: 1.1, order: "tc-desc",
+		savePath: filepath.Join(dir, "out.sched")}
+	if err := run(opts); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithCacheDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "oracle-cache")
+	// Cold invocation populates the store, warm one reuses it; both succeed
+	// and the store directory materialises.
+	opts := options{workload: "alpha21364", tl: 165, stcl: 60, growth: 1.1, order: "tc-desc", cacheDir: dir}
+	if err := run(opts); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if err := run(opts); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Errorf("store directory empty or missing: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	// Unknown workload.
-	if err := run("bogus", "", "", 165, 60, 1.1, "tc-desc", false, false, false, ""); err == nil {
+	if err := run(options{workload: "bogus", tl: 165, stcl: 60, growth: 1.1, order: "tc-desc"}); err == nil {
 		t.Error("unknown workload should fail")
 	}
 	// Bad order.
-	if err := run("alpha21364", "", "", 165, 60, 1.1, "zigzag", false, false, false, ""); err == nil {
+	if err := run(options{workload: "alpha21364", tl: 165, stcl: 60, growth: 1.1, order: "zigzag"}); err == nil {
 		t.Error("bad order should fail")
 	}
 	// TL below every BCMT without auto-raise.
-	if err := run("alpha21364", "", "", 60, 60, 1.1, "tc-desc", false, false, false, ""); err == nil {
+	low := options{workload: "alpha21364", tl: 60, stcl: 60, growth: 1.1, order: "tc-desc"}
+	if err := run(low); err == nil {
 		t.Error("infeasible TL should fail")
 	}
 	// Same TL with auto-raise succeeds.
-	if err := run("alpha21364", "", "", 60, 60, 1.1, "tc-desc", true, false, false, ""); err != nil {
+	low.autoTL = true
+	if err := run(low); err != nil {
 		t.Errorf("auto-raise run failed: %v", err)
 	}
 }

@@ -15,9 +15,10 @@ import (
 // sessions for every (TL, STCL) grid cell (the 15 phase-1 solo simulations
 // alone are repeated once per cell).
 //
-// Active sets whose cores all fit in [0, 64) are keyed by bitmask; anything
-// else falls back to a canonical sorted-index string, so arbitrarily large
-// floorplans still cache correctly.
+// Active sets whose cores all fit in [0, 256) are keyed by a fixed-size
+// 256-bit mask (a comparable [4]uint64 array, so it is a valid map key with
+// no per-query allocation); anything larger falls back to a canonical
+// sorted-index string, so arbitrarily large floorplans still cache correctly.
 //
 // CachedOracle is safe for concurrent use. Concurrent misses on the same key
 // are deduplicated: exactly one goroutine runs the inner simulation while the
@@ -29,7 +30,7 @@ type CachedOracle struct {
 	inner Oracle
 
 	mu    sync.Mutex
-	small map[uint64]*cacheEntry
+	small map[mask256]*cacheEntry
 	big   map[string]*cacheEntry
 
 	hits   atomic.Int64
@@ -47,19 +48,25 @@ type cacheEntry struct {
 func NewCachedOracle(inner Oracle) *CachedOracle {
 	return &CachedOracle{
 		inner: inner,
-		small: make(map[uint64]*cacheEntry),
+		small: make(map[mask256]*cacheEntry),
 		big:   make(map[string]*cacheEntry),
 	}
 }
 
-// maskKey packs an active set into a bitmask when every core fits in [0, 64).
-func maskKey(active []int) (uint64, bool) {
-	var mask uint64
+// mask256 is a 256-core active-set bitmask. Being a fixed-size array it is
+// comparable, so it keys the fast map directly — no string building, no
+// allocation — and covers every floorplan up to 256 cores.
+type mask256 [4]uint64
+
+// maskKey packs an active set into a bitmask when every core fits in
+// [0, 256).
+func maskKey(active []int) (mask256, bool) {
+	var mask mask256
 	for _, c := range active {
-		if c < 0 || c >= 64 {
-			return 0, false
+		if c < 0 || c >= 256 {
+			return mask256{}, false
 		}
-		mask |= 1 << uint(c)
+		mask[c>>6] |= 1 << uint(c&63)
 	}
 	return mask, true
 }

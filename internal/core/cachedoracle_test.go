@@ -51,24 +51,74 @@ func TestCachedOracleReturnsCopies(t *testing.T) {
 	}
 }
 
-func TestCachedOracleBigSetFallback(t *testing.T) {
-	// Cores >= 64 cannot be bitmask-keyed; the canonical-string fallback must
-	// still dedupe permutations.
-	n := 80
+func TestCachedOracleMidSetMaskKey(t *testing.T) {
+	// Cores in [64, 256) ride the fixed-size [4]uint64 mask key — no string
+	// fallback — and permutations must still collapse to one simulation.
+	n := 200
 	solo := make([]float64, n)
 	for i := range solo {
 		solo[i] = 100 + float64(i)
 	}
 	inner := &CountingOracle{Inner: &fakeOracle{solo: solo, coupling: 1, ambient: 45}}
 	cached := NewCachedOracle(inner)
-	if _, err := cached.BlockTemps([]int{70, 2, 65}); err != nil {
+	if _, err := cached.BlockTemps([]int{70, 2, 199, 65}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cached.BlockTemps([]int{65, 70, 2}); err != nil {
+	if _, err := cached.BlockTemps([]int{65, 199, 70, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Calls() != 1 {
+		t.Errorf("inner calls = %d, want 1 via mask key", inner.Calls())
+	}
+	if len(cached.big) != 0 {
+		t.Errorf("string-key fallback used for %d sets; [64,256) cores should mask-key", len(cached.big))
+	}
+}
+
+func TestCachedOracleBigSetFallback(t *testing.T) {
+	// Cores >= 256 cannot be bitmask-keyed; the canonical-string fallback
+	// must still dedupe permutations.
+	n := 300
+	solo := make([]float64, n)
+	for i := range solo {
+		solo[i] = 100 + float64(i)
+	}
+	inner := &CountingOracle{Inner: &fakeOracle{solo: solo, coupling: 1, ambient: 45}}
+	cached := NewCachedOracle(inner)
+	if _, err := cached.BlockTemps([]int{280, 2, 65}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.BlockTemps([]int{65, 280, 2}); err != nil {
 		t.Fatal(err)
 	}
 	if inner.Calls() != 1 {
 		t.Errorf("inner calls = %d, want 1 via string key", inner.Calls())
+	}
+	if len(cached.big) != 1 {
+		t.Errorf("big map holds %d entries, want 1 (sets with cores >= 256 fall back)", len(cached.big))
+	}
+}
+
+func TestMaskKeyDistinctAcrossWords(t *testing.T) {
+	// One core per 64-bit word: the four masks must be pairwise distinct
+	// (a regression guard against folding words together), and sets just
+	// past the 256-core edge must refuse the mask path.
+	seen := map[mask256]bool{}
+	for _, c := range []int{0, 63, 64, 127, 128, 191, 192, 255} {
+		m, ok := maskKey([]int{c})
+		if !ok {
+			t.Fatalf("maskKey([%d]) rejected a core in [0,256)", c)
+		}
+		if seen[m] {
+			t.Fatalf("maskKey([%d]) collided with an earlier single-core set", c)
+		}
+		seen[m] = true
+	}
+	if _, ok := maskKey([]int{256}); ok {
+		t.Error("maskKey accepted core 256")
+	}
+	if _, ok := maskKey([]int{-1}); ok {
+		t.Error("maskKey accepted a negative core")
 	}
 }
 

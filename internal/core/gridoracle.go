@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/power"
+	"repro/internal/thermal"
+)
+
+// GridOracle answers oracle queries with a fine-grid discretisation instead
+// of the compact block model: each active core's test power is deposited over
+// its footprint on an nx×ny cell grid and the steady-state field is reduced
+// back to one temperature per block (the hottest cell inside the block — the
+// quantity a thermal-safety check cares about).
+//
+// A grid query costs milliseconds where the block model costs microseconds,
+// which is exactly why it exists: it is the simulation-dominated oracle the
+// persistent store (internal/oraclestore) and the fleet runner amortise. The
+// model is factored once at construction and shared by every query, and
+// GridModel.SteadyState is safe for concurrent use, so a GridOracle can sit
+// under the parallel sweeps like any other Oracle.
+type GridOracle struct {
+	grid    *thermal.GridModel
+	profile *power.Profile
+	pmPool  sync.Pool // *[]float64, one per-block power map per query
+}
+
+// NewGridOracle binds a factored grid model and a power profile sharing the
+// same floorplan.
+func NewGridOracle(gm *thermal.GridModel, prof *power.Profile) *GridOracle {
+	o := &GridOracle{grid: gm, profile: prof}
+	o.pmPool.New = func() any {
+		pm := make([]float64, gm.Floorplan().NumBlocks())
+		return &pm
+	}
+	return o
+}
+
+// Grid returns the underlying grid model.
+func (o *GridOracle) Grid() *thermal.GridModel { return o.grid }
+
+// BlockTemps implements Oracle: solve the grid, then reduce each block to its
+// hottest covered cell.
+func (o *GridOracle) BlockTemps(active []int) ([]float64, error) {
+	pmP := o.pmPool.Get().(*[]float64)
+	pm := *pmP
+	if err := o.profile.TestPowerMapInto(pm, active); err != nil {
+		o.pmPool.Put(pmP)
+		return nil, err
+	}
+	res, err := o.grid.SteadyState(pm)
+	o.pmPool.Put(pmP)
+	if err != nil {
+		return nil, err
+	}
+	n := o.grid.Floorplan().NumBlocks()
+	out := make([]float64, n)
+	for b := 0; b < n; b++ {
+		out[b] = res.BlockMaxTemp(b)
+	}
+	return out, nil
+}
+
+var _ Oracle = (*GridOracle)(nil)

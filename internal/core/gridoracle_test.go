@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/testspec"
+	"repro/internal/thermal"
+)
+
+func TestGridOracleMatchesDirectGridSolve(t *testing.T) {
+	spec := testspec.Alpha21364()
+	gm, err := thermal.NewGridModel(spec.Floorplan(), thermal.DefaultPackageConfig(), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewGridOracle(gm, spec.Profile())
+
+	active := []int{0, 3, 5, 8}
+	temps, err := oracle.BlockTemps(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(temps) != spec.NumCores() {
+		t.Fatalf("got %d block temps, want %d", len(temps), spec.NumCores())
+	}
+
+	pm, err := spec.Profile().TestPowerMap(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gm.SteadyState(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range temps {
+		if temps[b] != res.BlockMaxTemp(b) {
+			t.Errorf("block %d: oracle %g, direct %g", b, temps[b], res.BlockMaxTemp(b))
+		}
+	}
+	// Active cores must be hotter than ambient; a grid oracle that lost the
+	// power deposit would return a flat field.
+	amb := thermal.DefaultPackageConfig().Ambient
+	for _, c := range active {
+		if temps[c] <= amb+1 {
+			t.Errorf("active core %d at %g °C, barely above ambient %g", c, temps[c], amb)
+		}
+	}
+}
+
+func TestGridOracleUnderCachedOracle(t *testing.T) {
+	spec := testspec.Alpha21364()
+	gm, err := thermal.NewGridModel(spec.Floorplan(), thermal.DefaultPackageConfig(), 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &CountingOracle{Inner: NewGridOracle(gm, spec.Profile())}
+	cached := NewCachedOracle(counting)
+	a, err := cached.BlockTemps([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cached.BlockTemps([]int{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counting.Calls() != 1 {
+		t.Errorf("grid solves = %d, want 1 (memoized)", counting.Calls())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cached grid temps differ at block %d", i)
+		}
+	}
+}

@@ -71,6 +71,33 @@ func (o *SimOracle) BlockTemps(active []int) ([]float64, error) {
 	return out, nil
 }
 
+// LazyOracle defers building its inner oracle to the first query: exactly
+// one goroutine runs the builder while concurrent callers wait, and a build
+// error is sticky (builders are deterministic, retrying would repeat it).
+// It exists for oracles whose construction dominates start-up — a
+// grid-resolution model's sparse factorization — so a caller that never
+// queries (e.g. a fully warm persistent cache sitting above) never pays it.
+type LazyOracle struct {
+	once  sync.Once
+	build func() (Oracle, error)
+	inner Oracle
+	err   error
+}
+
+// NewLazyOracle wraps a deterministic oracle builder.
+func NewLazyOracle(build func() (Oracle, error)) *LazyOracle {
+	return &LazyOracle{build: build}
+}
+
+// BlockTemps implements Oracle.
+func (l *LazyOracle) BlockTemps(active []int) ([]float64, error) {
+	l.once.Do(func() { l.inner, l.err = l.build() })
+	if l.err != nil {
+		return nil, l.err
+	}
+	return l.inner.BlockTemps(active)
+}
+
 // CountingOracle wraps an Oracle and counts calls — used by tests and by the
 // experiment harness to cross-check the generator's own effort accounting.
 // The counter is atomic, so a CountingOracle may sit under the parallel

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/oraclestore"
 	"repro/internal/testspec"
 	"repro/internal/thermal"
 )
@@ -24,18 +25,40 @@ import (
 // so one Env-wide CachedOracle collapses that to one simulation per distinct
 // session. The cache also makes the whole Env safe to share across the
 // worker goroutines of a parallel sweep.
+//
+// With a persistent store attached (EnvOptions.Store) the cache becomes
+// two-tier: misses fall through to the content-addressed disk store before
+// reaching the simulator, so a repeated run in a fresh process re-simulates
+// nothing. With EnvOptions.GridRes the validation oracle is the
+// grid-resolution model instead of the compact block model; combined with a
+// store it is built lazily, so a fully warm run never pays the grid
+// factorization.
 type Env struct {
 	Spec  *testspec.Spec
 	Model *thermal.Model
 	SM    *core.SessionModel
-	// Sim is the raw, uncached simulation oracle.
+	// Sim is the raw, uncached block-model simulation oracle.
 	Sim *core.SimOracle
-	// Oracle memoizes Sim; its hit/miss counters are surfaced by the
-	// experiments CLI.
+	// Oracle memoizes all validation-oracle traffic; its hit/miss counters
+	// are surfaced by the experiments CLI.
 	Oracle *core.CachedOracle
+	// StoreCache is the persistent tier under Oracle, nil without a store.
+	StoreCache *oraclestore.SystemCache
+	// GridRes is the validation-oracle grid resolution, 0 for block-model.
+	GridRes int
 	// Parallel fans experiment sweeps across GOMAXPROCS goroutines. Serial
 	// and parallel runs render byte-identical tables.
 	Parallel bool
+}
+
+// EnvOptions selects the optional oracle plumbing of an Env.
+type EnvOptions struct {
+	// Store, when non-nil, persists every distinct simulation to disk and
+	// answers repeat queries — across processes — without simulating.
+	Store *oraclestore.Store
+	// GridRes, when > 0, validates sessions on a GridRes×GridRes
+	// grid-resolution thermal model instead of the block model.
+	GridRes int
 }
 
 // NewEnv builds the environment for a spec under the default package.
@@ -45,6 +68,12 @@ func NewEnv(spec *testspec.Spec) (*Env, error) {
 
 // NewEnvWithConfig builds the environment with an explicit package config.
 func NewEnvWithConfig(spec *testspec.Spec, cfg thermal.PackageConfig) (*Env, error) {
+	return NewEnvWithOptions(spec, cfg, EnvOptions{})
+}
+
+// NewEnvWithOptions builds the environment with an explicit package config
+// and the optional persistent-store / grid-oracle plumbing.
+func NewEnvWithOptions(spec *testspec.Spec, cfg thermal.PackageConfig, opts EnvOptions) (*Env, error) {
 	m, err := thermal.NewModel(spec.Floorplan(), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building thermal model: %w", err)
@@ -54,13 +83,52 @@ func NewEnvWithConfig(spec *testspec.Spec, cfg thermal.PackageConfig) (*Env, err
 		return nil, fmt.Errorf("experiments: building session model: %w", err)
 	}
 	sim := core.NewSimOracle(m, spec.Profile())
-	return &Env{
-		Spec:   spec,
-		Model:  m,
-		SM:     sm,
-		Sim:    sim,
-		Oracle: core.NewCachedOracle(sim),
-	}, nil
+	env := &Env{
+		Spec:    spec,
+		Model:   m,
+		SM:      sm,
+		Sim:     sim,
+		GridRes: opts.GridRes,
+	}
+
+	// The inner (tier-3) oracle: the block simulator, or a lazily built
+	// grid-resolution simulator. Laziness matters with a store: a warm run
+	// that answers everything from disk never factors the grid at all.
+	build := func() (core.Oracle, error) { return sim, nil }
+	if opts.GridRes > 0 {
+		n := opts.GridRes
+		build = func() (core.Oracle, error) {
+			gm, err := thermal.NewGridModel(spec.Floorplan(), cfg, n, n)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: building %d×%d grid oracle: %w", n, n, err)
+			}
+			return core.NewGridOracle(gm, spec.Profile()), nil
+		}
+	}
+
+	if opts.Store == nil {
+		if opts.GridRes > 0 {
+			// Defer the grid factorization to the first query even without
+			// a store, so a fleet's env-construction loop stays cheap and
+			// the factorizations happen inside the pooled cell tasks.
+			env.Oracle = core.NewCachedOracle(core.NewLazyOracle(build))
+		} else {
+			env.Oracle = core.NewCachedOracle(sim)
+		}
+		return env, nil
+	}
+
+	desc := oraclestore.DescForModel(m, spec.Profile())
+	if opts.GridRes > 0 {
+		desc = oraclestore.DescForGrid(spec.Floorplan(), cfg, spec.Profile(), opts.GridRes, opts.GridRes)
+	}
+	sc, err := opts.Store.System(desc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: opening oracle store: %w", err)
+	}
+	env.StoreCache = sc
+	env.Oracle = core.NewCachedOracle(sc.WrapLazy(build))
+	return env, nil
 }
 
 // AlphaEnv is the canonical evaluation environment (15-core Alpha 21364).

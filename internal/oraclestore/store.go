@@ -1,0 +1,241 @@
+// Package oraclestore is the persistent tier of the two-tier oracle cache:
+// it spills memoized BlockTemps results to disk so repeated CLI invocations
+// and fleet sweeps warm-start instead of re-running thermal simulations.
+//
+// Layout and addressing. A Store roots a directory; inside it every *thermal
+// system* — the combination of floorplan geometry, package configuration,
+// power profile and solver backend + tolerance — owns one append-only record
+// file, content-addressed by the SHA-256 of a canonical encoding of exactly
+// those inputs (see SystemDesc.Key). Two processes that build the same
+// system, in any order, land on the same file; any change to any simulation
+// input lands on a different one, so a stale cache can never answer for the
+// wrong physics.
+//
+// Record format. Files are binary, little-endian, and append-only:
+//
+//	header:  magic "TSORACL1" | u32 version | u32 numBlocks | 32-byte key
+//	record:  u32 nActive | nActive × u32 core | numBlocks × f64 temps | u32 crc
+//
+// Every record carries a CRC-32 (IEEE) over its payload and stores its active
+// set sorted ascending, so the file is self-validating and key-canonical.
+// Appends are a single write(2) on an O_APPEND descriptor, so every record
+// lands atomically at the true end of file; a crash mid-append leaves at
+// most one torn tail record, which the next load detects (short read, CRC
+// mismatch, or non-canonical core list) and truncates away before appending
+// resumes — the classic write-ahead-log recovery rule. Records are
+// fixed-stride once the active-set size is read, so a loader may also mmap
+// the file and walk it in place; the stock loader streams it with one
+// buffered pass.
+//
+// Concurrency. A SystemCache is safe for concurrent use within one process.
+// The store does not lock files across handles or processes; instead the
+// format is arranged so racing handles degrade softly. Files are *created*
+// with their header via temp-file + atomic rename, so no handle can observe
+// or half-write a header (racing creators publish complete files; the losing
+// rename's handle appends to an unlinked inode — records lost, nothing
+// corrupted). Record appends go through O_APPEND descriptors, so once a file
+// is open, a second writer — another Store in this process or another
+// process — can at worst append *duplicate* records (each handle memoizes
+// only what it has seen), which the next load dedupes; it cannot interleave
+// into or overwrite an earlier record, and the deterministic-oracle contract
+// makes duplicates benign. The remaining exclusion: *opening* a store (whose
+// load may truncate a torn tail) concurrently with a live writer appending
+// to the same file is outside the contract — the recovery truncation could
+// cut a record the writer just completed. Sequential processes and
+// concurrent use of already-open handles are fine — the intended CLI and
+// fleet patterns.
+package oraclestore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/thermal"
+)
+
+// ErrStore wraps all store failures.
+var ErrStore = errors.New("oraclestore: store error")
+
+// SystemDesc names one thermal system — everything a steady-state oracle
+// answer depends on. Its canonical hash is the content address of the
+// system's record file.
+type SystemDesc struct {
+	// Floorplan supplies the block geometry (names are irrelevant to the
+	// physics and excluded from the hash).
+	Floorplan *floorplan.Floorplan
+	// Package is the package stack the thermal model was built with.
+	Package thermal.PackageConfig
+	// Profile supplies the per-core powers injected by oracle queries.
+	Profile *power.Profile
+	// Backend identifies the solver configuration that produced the cached
+	// answers, e.g. "dense-cholesky", "sparse-cholesky" (block models, from
+	// Model.SolverBackend) or "grid-48x48" (grid oracles, from DescForGrid —
+	// the concrete solver and its fixed tolerance are deterministic
+	// functions of the dimensions, so they are folded in implicitly; anyone
+	// changing GridModel's fill budget or CG tolerance must also version
+	// this string or old files will answer with different round-off).
+	// Different backends differ in discretisation and round-off, so their
+	// answers must not share a file.
+	Backend string
+	// Tolerance is the iterative-solver tolerance, 0 for direct backends.
+	Tolerance float64
+}
+
+// DescForModel describes the block-model oracle of m with prof — the
+// SimOracle configuration.
+func DescForModel(m *thermal.Model, prof *power.Profile) SystemDesc {
+	return SystemDesc{
+		Floorplan: m.Floorplan(),
+		Package:   m.Config(),
+		Profile:   prof,
+		Backend:   m.SolverBackend(),
+	}
+}
+
+// DescForGrid describes the grid-resolution oracle (core.GridOracle) of an
+// nx×ny discretisation — without needing the grid model built, so a
+// lazily-constructed oracle can be content-addressed before paying for its
+// factorization. The concrete solver (direct vs IC(0)-CG past the fill
+// budget) is a deterministic function of these same inputs, so folding the
+// dimensions into the backend name keeps the key canonical.
+func DescForGrid(fp *floorplan.Floorplan, cfg thermal.PackageConfig, prof *power.Profile, nx, ny int) SystemDesc {
+	return SystemDesc{
+		Floorplan: fp,
+		Package:   cfg,
+		Profile:   prof,
+		Backend:   fmt.Sprintf("grid-%dx%d", nx, ny),
+	}
+}
+
+// Key returns the canonical SHA-256 content address of the system.
+func (d SystemDesc) Key() ([32]byte, error) {
+	var zero [32]byte
+	if d.Floorplan == nil || d.Profile == nil {
+		return zero, fmt.Errorf("%w: SystemDesc needs Floorplan and Profile", ErrStore)
+	}
+	if d.Profile.Floorplan().NumBlocks() != d.Floorplan.NumBlocks() {
+		return zero, fmt.Errorf("%w: profile has %d blocks, floorplan %d", ErrStore,
+			d.Profile.Floorplan().NumBlocks(), d.Floorplan.NumBlocks())
+	}
+	h := sha256.New()
+	var buf [8]byte
+	wf := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte("tsoracle-system-v1\x00"))
+
+	die := d.Floorplan.Die()
+	wf(die.X)
+	wf(die.Y)
+	wf(die.W)
+	wf(die.H)
+	wu(uint64(d.Floorplan.NumBlocks()))
+	for i := 0; i < d.Floorplan.NumBlocks(); i++ {
+		r := d.Floorplan.Block(i).Rect
+		wf(r.X)
+		wf(r.Y)
+		wf(r.W)
+		wf(r.H)
+	}
+
+	c := d.Package
+	for _, v := range []float64{
+		c.DieThickness, c.KSilicon, c.CSilicon,
+		c.TIMThickness, c.KTIM, c.CTIM,
+		c.SpreaderSide, c.SpreaderThickness, c.KSpreader, c.CSpreader,
+		c.SinkThickness, c.KSink, c.CSink,
+		c.ConvectionR, c.ConvectionC, c.Ambient,
+	} {
+		wf(v)
+	}
+
+	for i := 0; i < d.Floorplan.NumBlocks(); i++ {
+		wf(d.Profile.Functional(i))
+		wf(d.Profile.Test(i))
+	}
+
+	wu(uint64(len(d.Backend)))
+	h.Write([]byte(d.Backend))
+	wf(d.Tolerance)
+
+	var key [32]byte
+	copy(key[:], h.Sum(nil))
+	return key, nil
+}
+
+// Store manages the cache directory and hands out one SystemCache per
+// distinct system key (shared within the process, so concurrent Envs over
+// the same system append through one descriptor).
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	systems map[[32]byte]*SystemCache
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("%w: empty directory", ErrStore)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	return &Store{dir: dir, systems: make(map[[32]byte]*SystemCache)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// System opens (loading any prior records) or returns the already-open cache
+// for the described system.
+func (s *Store) System(desc SystemDesc) (*SystemCache, error) {
+	key, err := desc.Key()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.systems == nil {
+		return nil, fmt.Errorf("%w: store is closed", ErrStore)
+	}
+	if c, ok := s.systems[key]; ok {
+		return c, nil
+	}
+	hex := fmt.Sprintf("%x", key)
+	path := filepath.Join(s.dir, hex[:2], hex+".tsoc")
+	c, err := openSystemCache(path, key, desc.Floorplan.NumBlocks())
+	if err != nil {
+		return nil, err
+	}
+	s.systems[key] = c
+	return c, nil
+}
+
+// Close flushes and closes every open system file. The store is unusable
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, c := range s.systems {
+		if err := c.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.systems = nil
+	return first
+}

@@ -1,0 +1,415 @@
+package oraclestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+const (
+	fileVersion = 1
+	headerLen   = 8 + 4 + 4 + 32 // magic | version | numBlocks | key
+)
+
+var fileMagic = [8]byte{'T', 'S', 'O', 'R', 'A', 'C', 'L', '1'}
+
+// SystemCache is one system's on-disk memo table, fully mirrored in memory.
+// Get/Put are safe for concurrent use; Put appends one self-checksummed
+// record per distinct active set.
+type SystemCache struct {
+	path      string
+	key       [32]byte
+	numBlocks int
+
+	mu  sync.Mutex
+	f   *os.File
+	mem map[string][]float64
+
+	hits, misses atomic.Int64
+	loaded       int
+	recovered    int64 // corrupt tail bytes truncated at load
+}
+
+// openSystemCache opens or creates the record file and loads every valid
+// record, truncating any torn or corrupt tail.
+func openSystemCache(path string, key [32]byte, numBlocks int) (*SystemCache, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	// A missing file is created *with its header* via temp-file + atomic
+	// rename, so no handle can ever observe (or race to write) a partial
+	// header: two creators each publish a complete file and the second
+	// rename simply wins — the loser's handle appends to an unlinked inode,
+	// losing its records but corrupting nothing.
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		if err := createWithHeader(path, key, numBlocks); err != nil {
+			return nil, err
+		}
+	}
+	// O_APPEND: every record write lands atomically at the true end of the
+	// file, so a second handle on the same path (another Store in this or
+	// another process) can at worst append duplicate records — deduped at
+	// the next load — never overwrite bytes mid-record.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	c := &SystemCache{
+		path:      path,
+		key:       key,
+		numBlocks: numBlocks,
+		f:         f,
+		mem:       make(map[string][]float64),
+	}
+	if err := c.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// load reads the header and every record, resetting an invalid header and
+// truncating at the first invalid record. On return the file offset sits at
+// the end of the valid prefix with everything after it discarded, so appends
+// resume from a consistent state.
+func (c *SystemCache) load() error {
+	st, err := c.f.Stat()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	if st.Size() < headerLen {
+		// New file (or one that died before the header landed): start over.
+		c.recovered += st.Size()
+		return c.reset()
+	}
+	r := bufio.NewReaderSize(io.NewSectionReader(c.f, 0, st.Size()), 1<<16)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: reading header: %v", ErrStore, err)
+	}
+	ok := string(hdr[:8]) == string(fileMagic[:]) &&
+		binary.LittleEndian.Uint32(hdr[8:12]) == fileVersion &&
+		int(binary.LittleEndian.Uint32(hdr[12:16])) == c.numBlocks &&
+		string(hdr[16:48]) == string(c.key[:])
+	if !ok {
+		// Wrong magic/version/shape/key: the cache is derived data, so the
+		// safe recovery is to discard it rather than answer for the wrong
+		// system.
+		c.recovered += st.Size()
+		return c.reset()
+	}
+
+	good := int64(headerLen)
+	recBuf := make([]byte, 4+4*c.numBlocks+8*c.numBlocks+4) // worst-case record
+	for {
+		rec, n, err := readRecord(r, recBuf, c.numBlocks)
+		if err != nil {
+			// io.EOF: clean end. Anything else — short tail, CRC mismatch,
+			// non-canonical cores — is a torn or corrupt append: truncate it.
+			if err != io.EOF {
+				c.recovered += st.Size() - good
+				if err := c.f.Truncate(good); err != nil {
+					return fmt.Errorf("%w: truncating corrupt tail: %v", ErrStore, err)
+				}
+			}
+			break
+		}
+		c.mem[rec.key] = rec.temps
+		good += int64(n)
+	}
+	c.loaded = len(c.mem)
+	if _, err := c.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	return nil
+}
+
+// headerBytes renders the fixed file header.
+func headerBytes(key [32]byte, numBlocks int) []byte {
+	var hdr [headerLen]byte
+	copy(hdr[:8], fileMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(numBlocks))
+	copy(hdr[16:48], key[:])
+	return hdr[:]
+}
+
+// createWithHeader publishes a fresh record file atomically: header written
+// to a temp file in the same directory, fsynced, then renamed into place.
+func createWithHeader(path string, key [32]byte, numBlocks int) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tsoc-tmp-*")
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(headerBytes(key, numBlocks)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("%w: writing header: %v", ErrStore, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	return nil
+}
+
+// reset truncates the file to zero and writes a fresh header.
+func (c *SystemCache) reset() error {
+	if err := c.f.Truncate(0); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	if _, err := c.f.Write(headerBytes(c.key, c.numBlocks)); err != nil {
+		return fmt.Errorf("%w: writing header: %v", ErrStore, err)
+	}
+	return nil
+}
+
+type record struct {
+	key   string
+	temps []float64
+}
+
+// readRecord decodes one record, returning its consumed length. Any
+// malformation yields a non-EOF error; a clean end-of-file yields io.EOF.
+func readRecord(r *bufio.Reader, scratch []byte, numBlocks int) (record, int, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return record{}, 0, io.EOF
+		}
+		return record{}, 0, fmt.Errorf("short record length: %w", err)
+	}
+	nActive := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if nActive < 1 || nActive > numBlocks {
+		return record{}, 0, fmt.Errorf("implausible active count %d", nActive)
+	}
+	need := 4 + 4*nActive + 8*numBlocks + 4
+	var buf []byte
+	if cap(scratch) >= need {
+		buf = scratch[:need]
+	} else {
+		buf = make([]byte, need)
+	}
+	copy(buf, lenBuf[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return record{}, 0, fmt.Errorf("short record body: %w", err)
+	}
+	body := buf[:len(buf)-4]
+	wantCRC := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return record{}, 0, fmt.Errorf("record CRC mismatch")
+	}
+	prev := -1
+	for i := 0; i < nActive; i++ {
+		cv := int(binary.LittleEndian.Uint32(body[4+4*i:]))
+		if cv <= prev || cv >= numBlocks {
+			return record{}, 0, fmt.Errorf("non-canonical core list")
+		}
+		prev = cv
+	}
+	temps := make([]float64, numBlocks)
+	toff := 4 + 4*nActive
+	for i := range temps {
+		temps[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[toff+8*i:]))
+	}
+	return record{key: string(body[4 : 4+4*nActive]), temps: temps}, len(buf), nil
+}
+
+// memKey canonicalises an active set into the sorted little-endian byte key
+// used by both the in-memory map and the record encoding. Empty sets are
+// rejected: the record format reserves nActive >= 1 (a zero count reads as a
+// corrupt record on load), and an all-idle "session" is not a simulation
+// worth persisting.
+func memKey(active []int, numBlocks int) (string, []int, error) {
+	if len(active) == 0 {
+		return "", nil, fmt.Errorf("%w: empty active set", ErrStore)
+	}
+	sorted := append([]int(nil), active...)
+	sort.Ints(sorted)
+	buf := make([]byte, 4*len(sorted))
+	prev := -1
+	for i, cv := range sorted {
+		if cv == prev {
+			// The oracle layer never passes duplicates; reject rather than
+			// silently write a non-canonical record.
+			return "", nil, fmt.Errorf("%w: duplicate core %d in active set", ErrStore, cv)
+		}
+		if cv < 0 || cv >= numBlocks {
+			return "", nil, fmt.Errorf("%w: core %d outside [0,%d)", ErrStore, cv, numBlocks)
+		}
+		prev = cv
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(cv))
+	}
+	return string(buf), sorted, nil
+}
+
+// Get returns the stored temperatures for an active set, or false. The slice
+// is a fresh copy.
+func (c *SystemCache) Get(active []int) ([]float64, bool) {
+	key, _, err := memKey(active, c.numBlocks)
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	temps, ok := c.mem[key]
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	out := make([]float64, len(temps))
+	copy(out, temps)
+	return out, true
+}
+
+// Put persists one answer. Re-putting a known set is a no-op; temps must
+// have one entry per block. The append is a single write on an O_APPEND
+// descriptor (atomically positioned at EOF by the kernel), guarded by the
+// cache's lock; torn writes are healed by the next load.
+func (c *SystemCache) Put(active []int, temps []float64) error {
+	if len(temps) != c.numBlocks {
+		return fmt.Errorf("%w: %d temps for %d blocks", ErrStore, len(temps), c.numBlocks)
+	}
+	key, sorted, err := memKey(active, c.numBlocks)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return fmt.Errorf("%w: cache is closed", ErrStore)
+	}
+	if _, ok := c.mem[key]; ok {
+		return nil
+	}
+	buf := make([]byte, 0, 4+4*len(sorted)+8*len(temps)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sorted)))
+	for _, cv := range sorted {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(cv))
+	}
+	for _, t := range temps {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if _, err := c.f.Write(buf); err != nil {
+		return fmt.Errorf("%w: appending record: %v", ErrStore, err)
+	}
+	kept := make([]float64, len(temps))
+	copy(kept, temps)
+	c.mem[key] = kept
+	return nil
+}
+
+// Len returns the number of cached answers (loaded + appended).
+func (c *SystemCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Loaded returns how many records the opening load recovered from disk — the
+// warm-start count.
+func (c *SystemCache) Loaded() int { return c.loaded }
+
+// Recovered returns how many corrupt or torn bytes were discarded at load.
+func (c *SystemCache) Recovered() int64 { return c.recovered }
+
+// Stats returns the store-tier (hits, misses) counters: hits answered from
+// disk-backed memory, misses that fell through to the inner oracle.
+func (c *SystemCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Path returns the record file path.
+func (c *SystemCache) Path() string { return c.path }
+
+// Sync flushes appended records to stable storage.
+func (c *SystemCache) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	return nil
+}
+
+// close syncs and closes the record file. Get keeps answering from memory;
+// Put starts failing.
+func (c *SystemCache) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	c.f = nil
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	return nil
+}
+
+// storeOracle is the tier-2 oracle: answer from the SystemCache, otherwise
+// query the inner oracle and persist its answer. Persist failures are
+// deliberately non-fatal — the simulation result is correct whether or not
+// the spill landed, and a read-only cache directory should degrade a run,
+// not kill it.
+type storeOracle struct {
+	cache *SystemCache
+	inner core.Oracle
+}
+
+// Wrap layers the cache over an existing oracle.
+func (c *SystemCache) Wrap(inner core.Oracle) core.Oracle {
+	return &storeOracle{cache: c, inner: inner}
+}
+
+// WrapLazy layers the cache over an oracle that is only constructed on the
+// first store miss (via core.LazyOracle). A fully warm run therefore never
+// pays the inner oracle's construction cost — for grid-resolution oracles
+// that is the sparse factorization, which dominates a warm process's
+// start-up.
+func (c *SystemCache) WrapLazy(build func() (core.Oracle, error)) core.Oracle {
+	return &storeOracle{cache: c, inner: core.NewLazyOracle(build)}
+}
+
+// BlockTemps implements core.Oracle.
+func (o *storeOracle) BlockTemps(active []int) ([]float64, error) {
+	if temps, ok := o.cache.Get(active); ok {
+		return temps, nil
+	}
+	temps, err := o.inner.BlockTemps(active)
+	if err != nil {
+		return nil, err
+	}
+	_ = o.cache.Put(active, temps)
+	return temps, nil
+}
+
+var _ core.Oracle = (*storeOracle)(nil)

@@ -355,6 +355,9 @@ func (g *GridModel) Dims() (nx, ny int) { return g.nx, g.ny }
 // Floorplan returns the discretised floorplan.
 func (g *GridModel) Floorplan() *floorplan.Floorplan { return g.fp }
 
+// Config returns the package configuration the grid was built with.
+func (g *GridModel) Config() PackageConfig { return g.cfg }
+
 // CellTemp returns the silicon temperature of cell (x, y) (°C).
 func (r *GridResult) CellTemp(x, y int) float64 {
 	return r.temps[r.model.cellID(x, y)]

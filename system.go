@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/oraclestore"
 	"repro/internal/schedule"
 	"repro/internal/testspec"
 	"repro/internal/thermal"
@@ -18,16 +19,37 @@ import (
 // memoizing oracle cache, which is itself concurrency-safe. Repeated
 // GenerateSchedule / SessionMaxTemp calls on one System answer previously
 // simulated sessions from the cache.
+//
+// With SystemOptions.CacheDir set the cache is two-tier: every distinct
+// session simulation is also spilled to a persistent, content-addressed
+// store in that directory, and a later process building the same system
+// (same floorplan geometry, package, powers and solver backend) warm-starts
+// from it without re-simulating. Call Close to flush the store.
 type System struct {
 	spec   *testspec.Spec
 	model  *thermal.Model
 	sm     *core.SessionModel
 	sim    *core.SimOracle
 	oracle *core.CachedOracle
+
+	store      *oraclestore.Store
+	storeCache *oraclestore.SystemCache
+}
+
+// SystemOptions tunes System construction beyond the spec and package.
+type SystemOptions struct {
+	// CacheDir roots the persistent oracle cache; empty disables the
+	// persistent tier (the in-memory memo cache is always on).
+	CacheDir string
 }
 
 // NewSystem builds a System for a test spec under a package configuration.
 func NewSystem(spec *TestSpec, cfg PackageConfig) (*System, error) {
+	return NewSystemWithOptions(spec, cfg, SystemOptions{})
+}
+
+// NewSystemWithOptions builds a System with explicit options.
+func NewSystemWithOptions(spec *TestSpec, cfg PackageConfig, opts SystemOptions) (*System, error) {
 	model, err := thermal.NewModel(spec.Floorplan(), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("thermalsched: building thermal model: %w", err)
@@ -37,18 +59,52 @@ func NewSystem(spec *TestSpec, cfg PackageConfig) (*System, error) {
 		return nil, fmt.Errorf("thermalsched: building session model: %w", err)
 	}
 	sim := core.NewSimOracle(model, spec.Profile())
-	return &System{
-		spec:   spec,
-		model:  model,
-		sm:     sm,
-		sim:    sim,
-		oracle: core.NewCachedOracle(sim),
-	}, nil
+	s := &System{
+		spec:  spec,
+		model: model,
+		sm:    sm,
+		sim:   sim,
+	}
+	var inner core.Oracle = sim
+	if opts.CacheDir != "" {
+		store, err := oraclestore.Open(opts.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("thermalsched: opening oracle cache: %w", err)
+		}
+		sc, err := store.System(oraclestore.DescForModel(model, spec.Profile()))
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("thermalsched: opening oracle cache: %w", err)
+		}
+		s.store, s.storeCache = store, sc
+		inner = sc.Wrap(sim)
+	}
+	s.oracle = core.NewCachedOracle(inner)
+	return s, nil
+}
+
+// Close flushes and closes the persistent oracle cache, if any. The System
+// keeps answering queries afterwards (from memory and fresh simulation);
+// only disk spilling stops. Safe to call on a cache-less System.
+func (s *System) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }
 
 // OracleStats returns the memoized oracle's (hits, misses) counters — misses
 // equal the number of distinct sessions ever simulated by this System.
 func (s *System) OracleStats() (hits, misses int64) { return s.oracle.Stats() }
+
+// StoreStats returns the persistent tier's (hits, misses) counters: hits are
+// sessions answered from disk instead of simulation. Zero without CacheDir.
+func (s *System) StoreStats() (hits, misses int64) {
+	if s.storeCache == nil {
+		return 0, 0
+	}
+	return s.storeCache.Stats()
+}
 
 // Spec returns the test spec.
 func (s *System) Spec() *TestSpec { return s.spec }

@@ -1,0 +1,66 @@
+package thermalsched_test
+
+import (
+	"testing"
+
+	thermalsched "repro"
+)
+
+// TestSystemCacheDirWarmStart: two Systems over the same cache directory —
+// the second answers every previously simulated session from disk,
+// bit-exactly.
+func TestSystemCacheDirWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	opts := thermalsched.SystemOptions{CacheDir: dir}
+	cfg := thermalsched.ScheduleConfig{TL: 165, STCL: 60}
+
+	cold, err := thermalsched.NewSystemWithOptions(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, m := cold.StoreStats(); m == 0 {
+		t.Fatal("cold run never reached the store tier")
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := thermalsched.NewSystemWithOptions(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	warmRes, err := warm.GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, m := warm.StoreStats()
+	if m != 0 {
+		t.Errorf("warm run re-simulated %d sessions, want 0", m)
+	}
+	if h == 0 {
+		t.Error("warm run had no store hits")
+	}
+	if coldRes.Schedule.Describe(warm.Spec()) != warmRes.Schedule.Describe(warm.Spec()) {
+		t.Error("warm-started schedule differs from cold run")
+	}
+	if coldRes.MaxTemp != warmRes.MaxTemp {
+		t.Errorf("warm MaxTemp %g != cold %g (persistence must be bit-exact)", warmRes.MaxTemp, coldRes.MaxTemp)
+	}
+
+	// A cache-less System tolerates Close and reports zero store stats.
+	plain, err := thermalsched.NewSystem(thermalsched.AlphaWorkload(), thermalsched.DefaultPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := plain.StoreStats(); h != 0 || m != 0 {
+		t.Errorf("cache-less StoreStats = (%d, %d)", h, m)
+	}
+	if err := plain.Close(); err != nil {
+		t.Errorf("cache-less Close: %v", err)
+	}
+}
