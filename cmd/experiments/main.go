@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/linalg"
 	"repro/internal/oraclestore"
 	"repro/internal/testspec"
 	"repro/internal/thermal"
@@ -34,6 +35,8 @@ import (
 type options struct {
 	parallel   bool
 	gridres    []int
+	orderings  []linalg.Ordering
+	fillBudget int
 	cacheDir   string
 	gridOracle int
 	fleetSize  int
@@ -49,6 +52,11 @@ func main() {
 		gridres = flag.String("gridres", "",
 			"comma-separated grid-resolution ladder for -run gridres (e.g. 32,64,128); "+
 				"runs the Table 1 flow per resolution and prints solver backend and factor/solve timings")
+		ordering = flag.String("ordering", "nd",
+			"fill-reducing ordering for -run gridres: nd, rcm or both (one ladder row per ordering)")
+		fillBudget = flag.Int("fillbudget", 0,
+			"factor fill budget (non-zeros) for -run gridres grid models; 0 = default 2^24, "+
+				"past it the model falls back to preconditioned CG")
 		cacheDir = flag.String("cachedir", "",
 			"directory of the persistent oracle store; repeated runs warm-start from it across processes")
 		gridOracle = flag.Int("gridoracle", 0,
@@ -62,6 +70,11 @@ func main() {
 	flag.Parse()
 
 	ladder, err := parseGridRes(*gridres)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	orderings, err := parseOrderings(*ordering)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -88,6 +101,8 @@ func main() {
 	runErr := run(*which, options{
 		parallel:   *parallel,
 		gridres:    ladder,
+		orderings:  orderings,
+		fillBudget: *fillBudget,
 		cacheDir:   *cacheDir,
 		gridOracle: *gridOracle,
 		fleetSize:  *fleetSize,
@@ -125,6 +140,21 @@ func writeHeapProfile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseOrderings maps the -ordering flag to the ladder's ordering list:
+// "nd", "rcm" or "both" (nd first, matching the render's row order).
+func parseOrderings(s string) ([]linalg.Ordering, error) {
+	switch strings.TrimSpace(s) {
+	case "", "nd":
+		return []linalg.Ordering{linalg.OrderND}, nil
+	case "rcm":
+		return []linalg.Ordering{linalg.OrderRCM}, nil
+	case "both":
+		return []linalg.Ordering{linalg.OrderND, linalg.OrderRCM}, nil
+	default:
+		return nil, fmt.Errorf("bad -ordering %q (want nd, rcm or both)", s)
+	}
 }
 
 // parseGridRes parses the -gridres ladder; empty selects the default rungs.
@@ -267,7 +297,10 @@ func run(which string, opts options) error {
 	}
 	if wants("gridres") {
 		ran = true
-		res, err := experiments.RunGridScale(env, opts.gridres)
+		res, err := experiments.RunGridScale(env, opts.gridres, experiments.GridScaleOptions{
+			Orderings:  opts.orderings,
+			FillBudget: opts.fillBudget,
+		})
 		if err != nil {
 			return err
 		}

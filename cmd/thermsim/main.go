@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/cliutil"
+	"repro/internal/linalg"
 	"repro/internal/thermal"
 )
 
@@ -28,16 +29,24 @@ func main() {
 		duration  = flag.Float64("duration", 5, "transient duration (s)")
 		step      = flag.Float64("step", 0, "transient step (s), 0 = auto")
 		grid      = flag.Int("grid", 0, "also solve an N×N grid model and print its heatmap")
+		gridOrd   = flag.String("gridord", "nd", "grid factor ordering: nd (nested dissection) or rcm")
+		gridFill  = flag.Int("fillbudget", 0, "grid factor fill budget in non-zeros; 0 = default 2^24")
 	)
 	flag.Parse()
 
-	if err := run(*workload, *flpPath, *specPath, *activeStr, *transient, *duration, *step, *grid); err != nil {
+	ord, err := linalg.ParseOrdering(*gridOrd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim:", err)
+		os.Exit(1)
+	}
+	gopts := thermal.GridOptions{Ordering: ord, FillBudget: *gridFill}
+	if err := run(*workload, *flpPath, *specPath, *activeStr, *transient, *duration, *step, *grid, gopts); err != nil {
 		fmt.Fprintln(os.Stderr, "thermsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, flpPath, specPath, activeStr string, transient bool, duration, step float64, grid int) error {
+func run(workload, flpPath, specPath, activeStr string, transient bool, duration, step float64, grid int, gopts thermal.GridOptions) error {
 	spec, err := cliutil.LoadWorkload(workload, flpPath, specPath)
 	if err != nil {
 		return err
@@ -74,16 +83,16 @@ func run(workload, flpPath, specPath, activeStr string, transient bool, duration
 		fmt.Printf("steady state, %d active core(s), %.1f W total\n", len(active), res.TotalPower())
 		fmt.Print(res.Describe())
 		if grid > 0 {
-			gm, err := thermal.NewGridModel(fp, thermal.DefaultPackageConfig(), grid, grid)
+			gm, err := thermal.NewGridModelWithOptions(fp, thermal.DefaultPackageConfig(), grid, grid, gopts)
 			if err != nil {
 				return err
 			}
-			gres, err := gm.SteadyState(pm)
+			gres, err := gm.SteadyStateActive(pm, active)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("\ngrid model (%d×%d): max %.2f °C (block model: %.2f °C)\n",
-				grid, grid, gres.MaxTemp(), res.MaxTemp())
+			fmt.Printf("\ngrid model (%d×%d, %s ordering, %s backend): max %.2f °C (block model: %.2f °C)\n",
+				grid, grid, gm.Ordering(), gm.SolverBackend(), gres.MaxTemp(), res.MaxTemp())
 			fmt.Print(gres.Heatmap())
 		}
 		return nil

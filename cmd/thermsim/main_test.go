@@ -1,39 +1,56 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/thermal"
+)
 
 func TestRunSteadyState(t *testing.T) {
-	if err := run("alpha21364", "", "", "IntExec,IntReg", false, 0, 0, 16); err != nil {
+	if err := run("alpha21364", "", "", "IntExec,IntReg", false, 0, 0, 16, thermal.GridOptions{}); err != nil {
 		t.Fatalf("steady run: %v", err)
 	}
 }
 
+func TestRunSteadyStateGridOptions(t *testing.T) {
+	// Both orderings and a starved fill budget (CG fallback) must render.
+	for _, opts := range []thermal.GridOptions{
+		{Ordering: linalg.OrderRCM},
+		{Ordering: linalg.OrderND, FillBudget: 256},
+	} {
+		if err := run("alpha21364", "", "", "IntExec", false, 0, 0, 12, opts); err != nil {
+			t.Fatalf("grid options %+v: %v", opts, err)
+		}
+	}
+}
+
 func TestRunAllCores(t *testing.T) {
-	if err := run("figure1", "", "", "", false, 0, 0, 0); err != nil {
+	if err := run("figure1", "", "", "", false, 0, 0, 0, thermal.GridOptions{}); err != nil {
 		t.Fatalf("all-cores run: %v", err)
 	}
 }
 
 func TestRunGridRejectedForTransient(t *testing.T) {
-	if err := run("figure1", "", "", "C2", true, 0.5, 0.002, 8); err == nil {
+	if err := run("figure1", "", "", "C2", true, 0.5, 0.002, 8, thermal.GridOptions{}); err == nil {
 		t.Error("grid with transient should fail")
 	}
 }
 
 func TestRunTransient(t *testing.T) {
-	if err := run("figure1", "", "", "C2,C3,C4", true, 0.5, 0.002, 0); err != nil {
+	if err := run("figure1", "", "", "C2,C3,C4", true, 0.5, 0.002, 0, thermal.GridOptions{}); err != nil {
 		t.Fatalf("transient run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", "", "", "", false, 0, 0, 0); err == nil {
+	if err := run("bogus", "", "", "", false, 0, 0, 0, thermal.GridOptions{}); err == nil {
 		t.Error("unknown workload should fail")
 	}
-	if err := run("alpha21364", "", "", "NoSuchCore", false, 0, 0, 0); err == nil {
+	if err := run("alpha21364", "", "", "NoSuchCore", false, 0, 0, 0, thermal.GridOptions{}); err == nil {
 		t.Error("unknown core should fail")
 	}
-	if err := run("alpha21364", "", "", "IntExec", true, -1, 0, 0); err == nil {
+	if err := run("alpha21364", "", "", "IntExec", true, -1, 0, 0, thermal.GridOptions{}); err == nil {
 		t.Error("negative duration should fail")
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -268,4 +269,81 @@ func TestCachedOracleErrorsAreErrors(t *testing.T) {
 	if err == nil || !errors.Is(err, err) {
 		t.Fatal("expected an error value")
 	}
+}
+
+func TestCachedOracleBatch(t *testing.T) {
+	inner := &fakeOracle{solo: []float64{90, 95, 100, 105}, coupling: 2, ambient: 40}
+	c := NewCachedOracle(inner)
+	// Warm one key through the single path.
+	warm, err := c.BlockTemps([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch mixing a hit, two misses and a within-batch repeat.
+	sessions := [][]int{{0}, {1}, {2, 3}, {1}}
+	got, err := c.BlockTempsBatch(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 2 || misses != 3 {
+		t.Errorf("stats = (%d hits, %d misses), want (2, 3): counts must match serial querying", hits, misses)
+	}
+	for i, s := range sessions {
+		want, err := inner.BlockTemps(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := range want {
+			if got[i][b] != want[b] {
+				t.Fatalf("batch session %v block %d: %g, want %g", s, b, got[i][b], want[b])
+			}
+		}
+	}
+	for b := range warm {
+		if got[0][b] != warm[b] {
+			t.Fatalf("batch hit differs from warmed single query at block %d", b)
+		}
+	}
+	// Mutating a returned slice must not corrupt the cache.
+	got[1][0] = -1
+	again, err := c.BlockTemps([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] == -1 {
+		t.Error("batch result aliases the cache entry")
+	}
+	// A second identical batch is all hits, no inner traffic.
+	before := c.Misses()
+	if _, err := c.BlockTempsBatch(sessions); err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses() != before {
+		t.Error("repeat batch re-simulated cached sessions")
+	}
+}
+
+func TestCachedOracleBatchMemoizesErrors(t *testing.T) {
+	// A failing inner batch falls back to per-session queries so each key
+	// memoizes its own error, exactly like the serial path.
+	boom := &erroringOracle{}
+	c := NewCachedOracle(boom)
+	if _, err := c.BlockTempsBatch([][]int{{0}, {1}}); err == nil {
+		t.Fatal("expected batch error")
+	}
+	calls := boom.calls
+	if _, err := c.BlockTemps([]int{0}); err == nil {
+		t.Fatal("expected memoized error")
+	}
+	if boom.calls != calls {
+		t.Errorf("error was re-simulated: %d calls, want %d", boom.calls, calls)
+	}
+}
+
+// erroringOracle fails every query and counts them.
+type erroringOracle struct{ calls int }
+
+func (e *erroringOracle) BlockTemps(active []int) ([]float64, error) {
+	e.calls++
+	return nil, fmt.Errorf("synthetic failure for %v", active)
 }

@@ -33,8 +33,21 @@ type Config struct {
 	// reporting which cores are infeasible.
 	AutoRaiseTL bool
 	// MaxAttempts bounds the number of candidate-session simulations as a
-	// safety valve; 0 → 100000.
+	// safety valve; 0 → 100000. Exceeding it returns a *MaxAttemptsError.
 	MaxAttempts int
+	// BatchValidate routes validation through the oracle's batch path when
+	// it implements BatchOracle: phase 1 submits all solo simulations in one
+	// call, and phase 2 speculatively builds the whole chain of follow-on
+	// sessions its candidate would unlock (weights only change on a
+	// violation, so the chain is exact until the first failure) and
+	// validates the chain in one call — at grid resolution, one blocked
+	// multi-RHS triangular pass instead of one factor pass per candidate.
+	// Results are byte-identical to serial validation: the consumption loop
+	// replays the chain in order, commits the validated prefix, and discards
+	// everything after the first violation, which is exactly what the serial
+	// loop would have simulated. Off by default: with a microsecond block
+	// oracle the discarded speculative work costs more than it saves.
+	BatchValidate bool
 	// Phase1Workers caps the goroutines fanning out the phase-1 solo
 	// simulations. 0 → GOMAXPROCS; 1 → fully serial (use this with an
 	// oracle that is not safe for concurrent use, or when the caller
@@ -89,6 +102,35 @@ func (e *BCMTViolationError) Error() string {
 	return fmt.Sprintf("core: %d core(s) violate TL=%.1f°C when tested alone: %s; "+
 		"fix the core-level test or enable AutoRaiseTL", len(e.Cores), e.TL, strings.Join(parts, ", "))
 }
+
+// MaxAttemptsError reports a generator run that exceeded the
+// Config.MaxAttempts validation-simulation budget: how far it got (sessions
+// committed), what is left (cores still unscheduled) and what it spent. The
+// usual cause is an STCL so tight relative to the weight growth that
+// violations recur faster than singletons drain the core list; the fields let
+// a caller distinguish "almost done, raise the budget" from "stuck at the
+// first session, fix the configuration".
+type MaxAttemptsError struct {
+	// MaxAttempts is the configured budget that tripped.
+	MaxAttempts int
+	// Attempts is the validation simulations spent (MaxAttempts + 1 at trip).
+	Attempts int
+	// Sessions is how many sessions had been committed to the schedule.
+	Sessions int
+	// Unscheduled lists the cores still without a session, ascending.
+	Unscheduled []int
+}
+
+// Error implements error.
+func (e *MaxAttemptsError) Error() string {
+	return fmt.Sprintf("core: exceeded MaxAttempts=%d validation simulations "+
+		"(%d attempts spent, %d sessions built, %d cores unscheduled: %v)",
+		e.MaxAttempts, e.Attempts, e.Sessions, len(e.Unscheduled), e.Unscheduled)
+}
+
+// Is lets errors.Is match MaxAttemptsError against ErrCore, like the bare
+// error string it replaced.
+func (e *MaxAttemptsError) Is(target error) bool { return target == ErrCore }
 
 // SessionRecord captures one committed session for reporting.
 type SessionRecord struct {
@@ -222,34 +264,45 @@ func (g *Generator) Run() (*Result, error) {
 
 	sched := schedule.New()
 	builder := newSessionBuilder(g.sm)
+	batch, _ := g.oracle.(BatchOracle)
+	speculate := g.cfg.BatchValidate && batch != nil
+	var remScratch []bool
+	var chainScratch []pendingSession
 	sessionAttempts := 0
-	for left > 0 {
-		session, stc, err := g.buildSession(builder, order, remaining, weights, &res.ForcedSingletons)
-		if err != nil {
-			return nil, err
-		}
 
-		// Validate with the oracle (line 16). Effort accrues whether or not
-		// the session survives.
-		temps, err := g.oracle.BlockTemps(session)
-		if err != nil {
-			return nil, fmt.Errorf("core: session simulation: %w", err)
+	// consume validates one built session against its temperatures with
+	// bookkeeping identical to the serial loop: count the attempt, accrue
+	// effort, trip the budget, and either commit (line 17) or grow the
+	// offenders' weights (line 20). It reports whether the session was
+	// committed; a false return with nil error is a violation.
+	consume := func(ps pendingSession, temps []float64) (bool, error) {
+		if ps.forced {
+			res.ForcedSingletons++
 		}
 		res.Attempts++
 		sessionAttempts++
-		sess, err := schedule.NewSession(session...)
+		sess, err := schedule.NewSession(ps.cores...)
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		res.Effort += sess.Length(g.spec)
 		if res.Attempts > g.cfg.MaxAttempts {
-			return nil, fmt.Errorf("%w: exceeded MaxAttempts=%d validation simulations",
-				ErrCore, g.cfg.MaxAttempts)
+			unsched := make([]int, 0, left)
+			for i, r := range remaining {
+				if r {
+					unsched = append(unsched, i)
+				}
+			}
+			return false, &MaxAttemptsError{
+				MaxAttempts: g.cfg.MaxAttempts,
+				Attempts:    res.Attempts,
+				Sessions:    len(res.Records),
+				Unscheduled: unsched,
+			}
 		}
-
 		valid := true
 		sessionMax := math.Inf(-1)
-		for _, c := range session {
+		for _, c := range ps.cores {
 			sessionMax = math.Max(sessionMax, temps[c])
 			if temps[c] >= tl {
 				weights[c] *= g.cfg.WeightGrowth // line 20
@@ -258,22 +311,78 @@ func (g *Generator) Run() (*Result, error) {
 		}
 		if !valid {
 			res.Violations++
-			continue // line 9: rebuild from scratch
+			return false, nil
 		}
-
 		sched = sched.Append(sess)
 		res.Records = append(res.Records, SessionRecord{
 			Session:  sess,
-			STC:      stc,
+			STC:      ps.stc,
 			MaxTemp:  sessionMax,
 			Attempts: sessionAttempts,
 		})
 		res.MaxTemp = math.Max(res.MaxTemp, sessionMax)
 		sessionAttempts = 0
-		for _, c := range session {
+		for _, c := range ps.cores {
 			remaining[c] = false
 		}
-		left -= len(session)
+		left -= len(ps.cores)
+		return true, nil
+	}
+
+	for left > 0 {
+		// Build the candidate session — and, when batch-validating, the
+		// whole optimistic chain of follow-on sessions it unlocks (weights
+		// only change on a violation, so the chain is exact until one).
+		chain, err := g.buildChain(builder, order, remaining, weights,
+			&remScratch, &chainScratch, speculate)
+		if err != nil {
+			return nil, err
+		}
+		// The chain head is validated on its own: right after a weight
+		// change it is the likeliest candidate of the whole run to violate,
+		// and spending one plain query on it means a violation streak never
+		// discards a speculative batch. The tail — the low-risk follow-ons —
+		// is what rides the blocked multi-RHS pass.
+		temps, err := g.oracle.BlockTemps(chain[0].cores)
+		if err != nil {
+			return nil, fmt.Errorf("core: session simulation: %w", err)
+		}
+		ok, err := consume(chain[0], temps)
+		if err != nil {
+			return nil, err
+		}
+		if !ok || len(chain) == 1 {
+			continue // line 9: rebuild from scratch (or chain exhausted)
+		}
+		tail := make([][]int, len(chain)-1)
+		for i := range tail {
+			tail[i] = chain[i+1].cores
+		}
+		// A whole-batch error is not attributable to one session; discard
+		// the batch so the loop below re-queries per session, which
+		// reproduces the serial error at the session the serial run would
+		// have failed on (the oracle is deterministic). The length check
+		// guards against an implementation returning a short result
+		// alongside its error.
+		batched, berr := batch.BlockTempsBatch(tail)
+		if berr != nil || len(batched) != len(tail) {
+			batched = nil
+		}
+		for i := 1; i < len(chain); i++ {
+			var t []float64
+			if batched != nil {
+				t = batched[i-1]
+			} else if t, err = g.oracle.BlockTemps(chain[i].cores); err != nil {
+				return nil, fmt.Errorf("core: session simulation: %w", err)
+			}
+			ok, err := consume(chain[i], t)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break // discard the rest: it was built under stale weights
+			}
+		}
 	}
 
 	res.Schedule = sched
@@ -293,6 +402,23 @@ func (g *Generator) Run() (*Result, error) {
 // goroutines (0 → GOMAXPROCS). On failure the lowest-index error is
 // reported, matching the serial loop.
 func (g *Generator) runPhase1(n int, bcmt []float64) error {
+	if g.cfg.BatchValidate {
+		if batch, ok := g.oracle.(BatchOracle); ok {
+			sessions := make([][]int, n)
+			for i := range sessions {
+				sessions[i] = []int{i}
+			}
+			if temps, err := batch.BlockTempsBatch(sessions); err == nil {
+				for i, t := range temps {
+					bcmt[i] = t[i]
+				}
+				return nil
+			}
+			// On a batch error fall through: the sweep reruns the solo
+			// simulations one at a time and reports the lowest-index error,
+			// exactly like a serial run.
+		}
+	}
 	workers := g.cfg.Phase1Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -311,14 +437,74 @@ func (g *Generator) runPhase1(n int, bcmt []float64) error {
 	return nil
 }
 
+// pendingSession is one built-but-not-yet-validated session: an owned copy of
+// its core set, its weighted STC at build time, and whether the liveness
+// guard forced it to a singleton.
+type pendingSession struct {
+	cores  []int
+	stc    float64
+	forced bool
+}
+
+// buildChain builds the next candidate session for the current (remaining,
+// weights) state — and, when speculate is set, the entire chain of follow-on
+// sessions that would be built if every one of them validates. The chain is
+// exact, not a guess: weights only change when a validation fails, so until
+// the first violation the serial loop would construct precisely these
+// sessions. remScratch and chainScratch are reused across iterations; the
+// serial (non-speculative) path allocates nothing — its single chain entry
+// aliases the builder, valid until the next buildSession call, preserving the
+// allocation-free hot loop the incremental session builder bought.
+func (g *Generator) buildChain(b *sessionBuilder, order []int, remaining []bool,
+	weights []float64, remScratch *[]bool, chainScratch *[]pendingSession,
+	speculate bool) ([]pendingSession, error) {
+	chain := (*chainScratch)[:0]
+	if !speculate {
+		session, stc, forcedOne, err := g.buildSession(b, order, remaining, weights)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, pendingSession{cores: session, stc: stc, forced: forcedOne})
+		*chainScratch = chain
+		return chain, nil
+	}
+	rem := *remScratch
+	if cap(rem) < len(remaining) {
+		rem = make([]bool, len(remaining))
+	}
+	rem = rem[:len(remaining)]
+	copy(rem, remaining)
+	*remScratch = rem
+	left := 0
+	for _, r := range rem {
+		if r {
+			left++
+		}
+	}
+	for left > 0 {
+		session, stc, forcedOne, err := g.buildSession(b, order, rem, weights)
+		if err != nil {
+			return nil, err
+		}
+		cores := append([]int(nil), session...)
+		chain = append(chain, pendingSession{cores: cores, stc: stc, forced: forcedOne})
+		for _, c := range cores {
+			rem[c] = false
+		}
+		left -= len(cores)
+	}
+	*chainScratch = chain
+	return chain, nil
+}
+
 // buildSession implements lines 9–15: scan the unscheduled cores in candidate
 // order and greedily add every core that keeps STC(TS ∪ {Ci}) ≤ STCL.
 // When nothing fits (weights have outgrown STCL), it forces the least-hot
-// singleton to preserve liveness. The returned slice aliases the builder and
-// is only valid until the next call; the second return is the committed
-// session's weighted STC.
+// singleton to preserve liveness and reports that via forced. The returned
+// slice aliases the builder and is only valid until the next call; the second
+// return is the committed session's weighted STC.
 func (g *Generator) buildSession(b *sessionBuilder, order []int, remaining []bool,
-	weights []float64, forced *int) ([]int, float64, error) {
+	weights []float64) (session []int, stc float64, forced bool, err error) {
 	b.reset()
 	for _, c := range order {
 		if !remaining[c] {
@@ -327,7 +513,7 @@ func (g *Generator) buildSession(b *sessionBuilder, order []int, remaining []boo
 		b.tryAdd(c, weights, g.cfg.STCL)
 	}
 	if len(b.members) > 0 {
-		return b.members, b.maxTerm, nil
+		return b.members, b.maxTerm, false, nil
 	}
 	// Liveness guard: force the single unscheduled core with the smallest
 	// weighted solo STC.
@@ -341,11 +527,10 @@ func (g *Generator) buildSession(b *sessionBuilder, order []int, remaining []boo
 		}
 	}
 	if best < 0 {
-		return nil, 0, fmt.Errorf("%w: buildSession called with no remaining cores", ErrCore)
+		return nil, 0, false, fmt.Errorf("%w: buildSession called with no remaining cores", ErrCore)
 	}
-	*forced++
 	b.forceSingleton(best, weights)
-	return b.members, b.maxTerm, nil
+	return b.members, b.maxTerm, true, nil
 }
 
 // Generate is the one-call convenience wrapper: build the generator and run

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -460,6 +461,158 @@ func TestPhase1WorkersEquivalent(t *testing.T) {
 			if b != ref.BCMT[i] {
 				t.Errorf("workers=%d: BCMT[%d] = %g != %g", workers, i, b, ref.BCMT[i])
 			}
+		}
+	}
+}
+
+// batchSpyOracle wraps a BatchOracle and records how the generator queried
+// it, so tests can assert the batched path actually engaged.
+type batchSpyOracle struct {
+	inner      BatchOracle
+	single     atomic.Int64
+	batches    atomic.Int64
+	batchedSes atomic.Int64
+}
+
+func (b *batchSpyOracle) BlockTemps(active []int) ([]float64, error) {
+	b.single.Add(1)
+	return b.inner.BlockTemps(active)
+}
+
+func (b *batchSpyOracle) BlockTempsBatch(sessions [][]int) ([][]float64, error) {
+	b.batches.Add(1)
+	b.batchedSes.Add(int64(len(sessions)))
+	return b.inner.BlockTempsBatch(sessions)
+}
+
+func TestBatchValidateByteIdenticalResults(t *testing.T) {
+	// The contract of Config.BatchValidate: speculative chain construction
+	// plus batched oracle calls must leave every Result field — schedule,
+	// records, attempts, effort, violations, forced singletons — exactly as
+	// the serial loop produces, including on violation-heavy operating
+	// points where most of the speculative chain is discarded.
+	spec, sm, oracle := alphaGenSetup(t)
+	for _, cfg := range []Config{
+		{TL: 165, STCL: 60},
+		{TL: 145, STCL: 100}, // violation-heavy: chains are rebuilt repeatedly
+		{TL: 185, STCL: 20},  // singleton-heavy: long chains, no violations
+	} {
+		serial, err := Generate(spec, sm, oracle, cfg)
+		if err != nil {
+			t.Fatalf("serial %+v: %v", cfg, err)
+		}
+		bcfg := cfg
+		bcfg.BatchValidate = true
+		spy := &batchSpyOracle{inner: oracle.(BatchOracle)}
+		batched, err := Generate(spec, sm, spy, bcfg)
+		if err != nil {
+			t.Fatalf("batched %+v: %v", cfg, err)
+		}
+		if !reflect.DeepEqual(serial, batched) {
+			t.Errorf("TL=%g STCL=%g: batched result differs from serial\nserial:  %s\nbatched: %s",
+				cfg.TL, cfg.STCL, serial.Describe(spec), batched.Describe(spec))
+		}
+		if spy.batches.Load() == 0 {
+			t.Errorf("TL=%g STCL=%g: batch path never engaged", cfg.TL, cfg.STCL)
+		}
+		// Through a memoizing cache as the experiment environments wire it.
+		cached, err := Generate(spec, sm, NewCachedOracle(oracle), bcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, cached) {
+			t.Errorf("TL=%g STCL=%g: cached batched result differs from serial", cfg.TL, cfg.STCL)
+		}
+	}
+}
+
+func TestBatchValidateWithoutBatchOracleFallsBack(t *testing.T) {
+	// A BatchValidate config against an oracle with no batch path must run —
+	// and produce — exactly the serial flow.
+	spec, sm, oracle := alphaGenSetup(t)
+	solo := make([]float64, spec.NumCores())
+	for i := range solo {
+		solo[i] = 90 + float64(i)
+	}
+	fake := &fakeOracle{solo: solo, coupling: 3, ambient: 45}
+	serial, err := Generate(spec, sm, fake, Config{TL: 165, STCL: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := Generate(spec, sm, fake, Config{TL: 165, STCL: 60, BatchValidate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, batched) {
+		t.Error("BatchValidate against a plain Oracle changed the result")
+	}
+	_ = oracle
+}
+
+func TestBatchValidateOracleErrorMatchesSerial(t *testing.T) {
+	// An oracle failure mid-run must surface the same error with and without
+	// batching: the batch path falls back to per-session queries, which hit
+	// the deterministic failure at the same session the serial loop does.
+	spec, sm, oracle := alphaGenSetup(t)
+	serialFail := &failingOracle{inner: oracle, after: 20}
+	_, serialErr := Generate(spec, sm, serialFail, Config{TL: 165, STCL: 60, Phase1Workers: 1})
+	if serialErr == nil {
+		t.Fatal("expected serial failure")
+	}
+	batchFail := &failingBatchOracle{failingOracle{inner: oracle, after: 20}}
+	_, batchErr := Generate(spec, sm, batchFail,
+		Config{TL: 165, STCL: 60, Phase1Workers: 1, BatchValidate: true})
+	if batchErr == nil {
+		t.Fatal("expected batched failure")
+	}
+	if serialErr.Error() != batchErr.Error() {
+		t.Errorf("batched error %q differs from serial %q", batchErr, serialErr)
+	}
+}
+
+// failingBatchOracle exposes a batch path whose calls fail wholesale once the
+// inner budget is exhausted, forcing the generator's per-session fallback.
+type failingBatchOracle struct{ failingOracle }
+
+func (f *failingBatchOracle) BlockTempsBatch(sessions [][]int) ([][]float64, error) {
+	out := make([][]float64, len(sessions))
+	for i, s := range sessions {
+		temps, err := f.BlockTemps(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = temps
+	}
+	return out, nil
+}
+
+func TestMaxAttemptsStructuredError(t *testing.T) {
+	spec, sm, oracle := alphaGenSetup(t)
+	_, err := Generate(spec, sm, oracle, Config{TL: 145, STCL: 100, MaxAttempts: 2})
+	var mae *MaxAttemptsError
+	if !errors.As(err, &mae) {
+		t.Fatalf("err = %v (%T), want *MaxAttemptsError", err, err)
+	}
+	if !errors.Is(err, ErrCore) {
+		t.Error("MaxAttemptsError must keep matching ErrCore")
+	}
+	if mae.MaxAttempts != 2 || mae.Attempts != 3 {
+		t.Errorf("budget fields = (%d max, %d spent), want (2, 3)", mae.MaxAttempts, mae.Attempts)
+	}
+	if len(mae.Unscheduled) == 0 || len(mae.Unscheduled) > spec.NumCores() {
+		t.Errorf("Unscheduled = %v, want non-empty subset of cores", mae.Unscheduled)
+	}
+	for i := 1; i < len(mae.Unscheduled); i++ {
+		if mae.Unscheduled[i-1] >= mae.Unscheduled[i] {
+			t.Errorf("Unscheduled not ascending: %v", mae.Unscheduled)
+		}
+	}
+	if mae.Sessions < 0 || mae.Sessions >= spec.NumCores() {
+		t.Errorf("Sessions = %d out of range", mae.Sessions)
+	}
+	for _, want := range []string{"MaxAttempts=2", "3 attempts", "unscheduled"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
 		}
 	}
 }

@@ -40,7 +40,11 @@ func NewGridOracle(gm *thermal.GridModel, prof *power.Profile) *GridOracle {
 func (o *GridOracle) Grid() *thermal.GridModel { return o.grid }
 
 // BlockTemps implements Oracle: solve the grid, then reduce each block to its
-// hottest covered cell.
+// hottest covered cell. The per-candidate right-hand side only touches the
+// active cores' cell footprint, so the solve goes through the grid model's
+// sparse-RHS path (SteadyStateActive) — bit-identical to a dense-RHS solve,
+// with the forward triangular pass confined to the footprint's
+// elimination-tree reach.
 func (o *GridOracle) BlockTemps(active []int) ([]float64, error) {
 	pmP := o.pmPool.Get().(*[]float64)
 	pm := *pmP
@@ -48,17 +52,66 @@ func (o *GridOracle) BlockTemps(active []int) ([]float64, error) {
 		o.pmPool.Put(pmP)
 		return nil, err
 	}
-	res, err := o.grid.SteadyState(pm)
+	res, err := o.grid.SteadyStateActive(pm, active)
 	o.pmPool.Put(pmP)
 	if err != nil {
 		return nil, err
 	}
+	return o.reduce(res), nil
+}
+
+// BlockTempsBatch implements BatchOracle: multi-core sessions' right-hand
+// sides ride one blocked pass over the shared factor
+// (GridModel.SteadyStateBatch), so the multi-megabyte factor streams once for
+// the whole sub-batch instead of once per session. Solo sessions are carved
+// out and solved through the sparse-RHS path instead — a one-core footprint's
+// elimination-tree reach is a sliver of the factor, which beats any dense
+// amortisation. Results are bit-identical to per-session BlockTemps calls on
+// every route.
+func (o *GridOracle) BlockTempsBatch(sessions [][]int) ([][]float64, error) {
+	out := make([][]float64, len(sessions))
+	var denseIdx []int
+	for i, s := range sessions {
+		if len(s) <= 1 {
+			temps, err := o.BlockTemps(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = temps
+		} else {
+			denseIdx = append(denseIdx, i)
+		}
+	}
+	if len(denseIdx) == 0 {
+		return out, nil
+	}
+	pms := make([][]float64, len(denseIdx))
+	for k, i := range denseIdx {
+		pm := make([]float64, o.grid.Floorplan().NumBlocks())
+		if err := o.profile.TestPowerMapInto(pm, sessions[i]); err != nil {
+			return nil, err
+		}
+		pms[k] = pm
+	}
+	results, err := o.grid.SteadyStateBatch(pms)
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range denseIdx {
+		out[i] = o.reduce(results[k])
+	}
+	return out, nil
+}
+
+// reduce folds a grid field to one temperature per block (the hottest covered
+// cell).
+func (o *GridOracle) reduce(res *thermal.GridResult) []float64 {
 	n := o.grid.Floorplan().NumBlocks()
 	out := make([]float64, n)
 	for b := 0; b < n; b++ {
 		out[b] = res.BlockMaxTemp(b)
 	}
-	return out, nil
+	return out
 }
 
-var _ Oracle = (*GridOracle)(nil)
+var _ BatchOracle = (*GridOracle)(nil)

@@ -21,6 +21,34 @@ type Oracle interface {
 	BlockTemps(active []int) ([]float64, error)
 }
 
+// BatchOracle is the optional batching extension of Oracle: simulate several
+// sessions in one call. Implementations whose solver amortises work across
+// right-hand sides — the grid oracle's blocked multi-RHS triangular passes —
+// answer a k-session batch for far less than k single queries; every result
+// must be bit-identical to the corresponding BlockTemps call, so callers may
+// mix the two paths freely. A whole-batch error carries no per-session
+// attribution: callers that need exact serial error semantics fall back to
+// per-session BlockTemps (the oracle is deterministic, so the error resurfaces
+// at the same session).
+type BatchOracle interface {
+	Oracle
+	BlockTempsBatch(sessions [][]int) ([][]float64, error)
+}
+
+// blockTempsSerial answers a batch by looping single queries — the fallback
+// shared by every wrapper whose inner oracle has no batch fast path.
+func blockTempsSerial(o Oracle, sessions [][]int) ([][]float64, error) {
+	out := make([][]float64, len(sessions))
+	for i, s := range sessions {
+		temps, err := o.BlockTemps(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = temps
+	}
+	return out, nil
+}
+
 // SimOracle answers oracle queries with the full RC thermal model, injecting
 // each active core's test power and zero power into passive cores (the
 // paper's passive-cores-idle assumption).
@@ -54,14 +82,17 @@ func NewSimOracle(m *thermal.Model, prof *power.Profile) *SimOracle {
 	return o
 }
 
-// BlockTemps implements Oracle.
+// BlockTemps implements Oracle. The power map's support is exactly the
+// active set, so sparse-backend models solve through the elimination-tree
+// reach of the active cores (SteadyStateActiveInto) — bit-identical to the
+// dense-RHS path, cheaper when few cores are active.
 func (o *SimOracle) BlockTemps(active []int) ([]float64, error) {
 	sc := o.scratch.Get().(*simScratch)
 	if err := o.profile.TestPowerMapInto(sc.pm, active); err != nil {
 		o.scratch.Put(sc)
 		return nil, err
 	}
-	if err := o.model.SteadyStateInto(sc.temps, sc.pm); err != nil {
+	if err := o.model.SteadyStateActiveInto(sc.temps, sc.pm, active); err != nil {
 		o.scratch.Put(sc)
 		return nil, err
 	}
@@ -69,6 +100,14 @@ func (o *SimOracle) BlockTemps(active []int) ([]float64, error) {
 	copy(out, sc.temps[:o.model.NumBlocks()])
 	o.scratch.Put(sc)
 	return out, nil
+}
+
+// BlockTempsBatch implements BatchOracle. Block-model solves are already
+// microseconds, so the batch is answered by the serial loop; the interface is
+// implemented so generators configured for batched validation work against
+// either oracle.
+func (o *SimOracle) BlockTempsBatch(sessions [][]int) ([][]float64, error) {
+	return blockTempsSerial(o, sessions)
 }
 
 // LazyOracle defers building its inner oracle to the first query: exactly
@@ -98,6 +137,19 @@ func (l *LazyOracle) BlockTemps(active []int) ([]float64, error) {
 	return l.inner.BlockTemps(active)
 }
 
+// BlockTempsBatch implements BatchOracle, delegating to the inner oracle's
+// batch path when it has one.
+func (l *LazyOracle) BlockTempsBatch(sessions [][]int) ([][]float64, error) {
+	l.once.Do(func() { l.inner, l.err = l.build() })
+	if l.err != nil {
+		return nil, l.err
+	}
+	if b, ok := l.inner.(BatchOracle); ok {
+		return b.BlockTempsBatch(sessions)
+	}
+	return blockTempsSerial(l.inner, sessions)
+}
+
 // CountingOracle wraps an Oracle and counts calls — used by tests and by the
 // experiment harness to cross-check the generator's own effort accounting.
 // The counter is atomic, so a CountingOracle may sit under the parallel
@@ -113,5 +165,21 @@ func (c *CountingOracle) BlockTemps(active []int) ([]float64, error) {
 	return c.Inner.BlockTemps(active)
 }
 
-// Calls returns the number of BlockTemps invocations so far.
+// BlockTempsBatch implements BatchOracle; a k-session batch counts as k
+// simulations, so Calls keeps meaning "sessions simulated" on either path.
+func (c *CountingOracle) BlockTempsBatch(sessions [][]int) ([][]float64, error) {
+	c.calls.Add(int64(len(sessions)))
+	if b, ok := c.Inner.(BatchOracle); ok {
+		return b.BlockTempsBatch(sessions)
+	}
+	return blockTempsSerial(c.Inner, sessions)
+}
+
+// Calls returns the number of sessions simulated so far.
 func (c *CountingOracle) Calls() int64 { return c.calls.Load() }
+
+var (
+	_ BatchOracle = (*SimOracle)(nil)
+	_ BatchOracle = (*LazyOracle)(nil)
+	_ BatchOracle = (*CountingOracle)(nil)
+)

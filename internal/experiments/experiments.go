@@ -120,7 +120,11 @@ func NewEnvWithOptions(spec *testspec.Spec, cfg thermal.PackageConfig, opts EnvO
 
 	desc := oraclestore.DescForModel(m, spec.Profile())
 	if opts.GridRes > 0 {
-		desc = oraclestore.DescForGrid(spec.Floorplan(), cfg, spec.Profile(), opts.GridRes, opts.GridRes)
+		// The Env builds its grid oracle with default solver options; the
+		// store key is derived from the same (canonical) options, so a
+		// future non-default wiring cannot silently share this file.
+		desc = oraclestore.DescForGrid(spec.Floorplan(), cfg, spec.Profile(),
+			opts.GridRes, opts.GridRes, thermal.GridOptions{})
 	}
 	sc, err := opts.Store.System(desc)
 	if err != nil {
@@ -151,6 +155,13 @@ func (e *Env) Generate(cfg core.Config) (*core.Result, error) {
 func (e *Env) generateWith(oracle core.Oracle, cfg core.Config) (*core.Result, error) {
 	if e.Parallel && cfg.Phase1Workers == 0 {
 		cfg.Phase1Workers = 1
+	}
+	// Grid-resolution validation is simulation-dominated, so route phase 1
+	// and the phase-2 candidate chain through the oracle's batched multi-RHS
+	// path (results are byte-identical to per-candidate validation; oracles
+	// without a batch path ignore the flag).
+	if e.GridRes > 0 {
+		cfg.BatchValidate = true
 	}
 	return core.Generate(e.Spec, e.SM, oracle, cfg)
 }

@@ -6,26 +6,31 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/linalg"
 	"repro/internal/thermal"
 )
 
 // GridScalePoint is one rung of the grid-resolution ladder: the Table 1
 // schedule's sessions re-simulated on an n×n grid discretisation, with the
-// solver backend and timing split that tells direct-factor amortisation from
-// per-query cost.
+// solver backend, ordering and timing split that tells direct-factor
+// amortisation from per-query cost — and the batched multi-RHS pass from the
+// per-query triangular solves it replaces.
 type GridScalePoint struct {
 	Res       int           // grid is Res×Res cells
+	Ordering  string        // fill-reducing ordering ("nd", "rcm")
 	Nodes     int           // total RC nodes (2·Res² + 2)
 	NNZ       int           // conductance matrix non-zeros
 	FactorNNZ int           // Cholesky factor non-zeros (0 on the CG fallback)
 	Backend   string        // thermal.GridModel.SolverBackend()
 	BuildTime time.Duration // model assembly + symbolic + numeric factorization
-	SolveTime time.Duration // total steady-state solve time across all sessions
+	SolveTime time.Duration // total per-query steady-state solve time across all sessions
+	BatchTime time.Duration // the same sessions through one SteadyStateBatch call
 	Queries   int           // session count
 	PeakT     float64       // hottest cell over all sessions, °C
 }
 
-// PerQuery returns the amortized per-session solve time.
+// PerQuery returns the amortized per-session solve time on the per-query
+// path.
 func (p GridScalePoint) PerQuery() time.Duration {
 	if p.Queries == 0 {
 		return 0
@@ -33,22 +38,44 @@ func (p GridScalePoint) PerQuery() time.Duration {
 	return p.SolveTime / time.Duration(p.Queries)
 }
 
+// PerQueryBatched returns the amortized per-session solve time when all
+// sessions ride one blocked factor pass.
+func (p GridScalePoint) PerQueryBatched() time.Duration {
+	if p.Queries == 0 {
+		return 0
+	}
+	return p.BatchTime / time.Duration(p.Queries)
+}
+
 // GridScaleResult is the grid-resolution study: the Table 1 flow (generate a
 // schedule at the mid operating point, then validate every committed session)
-// run against increasingly fine grid models of the same package.
+// run against increasingly fine grid models of the same package, under one or
+// more elimination orderings.
 type GridScaleResult struct {
 	TL, STCL float64
 	Sessions int
 	Points   []GridScalePoint
 }
 
+// GridScaleOptions tunes the ladder.
+type GridScaleOptions struct {
+	// Orderings lists the fill-reducing orderings to ladder each resolution
+	// through; empty runs the grid default (nested dissection) only.
+	Orderings []linalg.Ordering
+	// FillBudget overrides the factor fill budget (0 keeps the default), so
+	// fine rungs can be pushed past — or pinned under — the stock bound.
+	FillBudget int
+}
+
 // RunGridScale generates the TL=165/STCL=60 Table 1 schedule in env, then
-// re-simulates its sessions on each grid resolution, reporting backend choice
-// and factorization/solve timings per rung. This is the scaling probe for the
-// sparse steady-state backend: per-query time should stay near-linear in the
-// node count because the factorization is built once and reused across every
-// session query.
-func RunGridScale(env *Env, resolutions []int) (*GridScaleResult, error) {
+// re-simulates its sessions on each grid resolution, reporting backend
+// choice, ordering, factorization fill and the per-query vs batched solve
+// timings per rung. This is the scaling probe for the sparse steady-state
+// backend: per-query time should stay near-linear in the node count because
+// the factorization is built once and reused, and the batched column should
+// sit well under the per-query one because all sessions stream the factor
+// once.
+func RunGridScale(env *Env, resolutions []int, opts GridScaleOptions) (*GridScaleResult, error) {
 	const tl, stcl = 165, 60
 	res, err := env.Generate(core.Config{TL: tl, STCL: stcl})
 	if err != nil {
@@ -57,40 +84,67 @@ func RunGridScale(env *Env, resolutions []int) (*GridScaleResult, error) {
 	sessions := res.Schedule.Sessions()
 	out := &GridScaleResult{TL: tl, STCL: stcl, Sessions: len(sessions)}
 	prof := env.Spec.Profile()
+	orderings := opts.Orderings
+	if len(orderings) == 0 {
+		orderings = []linalg.Ordering{linalg.OrderAuto}
+	}
 	for _, r := range resolutions {
 		if r < 2 {
 			return nil, fmt.Errorf("experiments: grid resolution %d too small", r)
 		}
-		start := time.Now()
-		gm, err := thermal.NewGridModel(env.Spec.Floorplan(), env.Model.Config(), r, r)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %d×%d grid: %w", r, r, err)
-		}
-		pt := GridScalePoint{
-			Res:       r,
-			Nodes:     gm.NumNodes(),
-			NNZ:       gm.NNZ(),
-			FactorNNZ: gm.FactorNNZ(),
-			Backend:   gm.SolverBackend(),
-			BuildTime: time.Since(start),
-			Queries:   len(sessions),
-		}
-		for _, s := range sessions {
-			pm, err := prof.TestPowerMap(s.Cores())
+		for _, ord := range orderings {
+			start := time.Now()
+			gm, err := thermal.NewGridModelWithOptions(env.Spec.Floorplan(), env.Model.Config(), r, r,
+				thermal.GridOptions{Ordering: ord, FillBudget: opts.FillBudget})
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("experiments: %d×%d grid: %w", r, r, err)
+			}
+			pt := GridScalePoint{
+				Res:       r,
+				Ordering:  gm.Ordering(),
+				Nodes:     gm.NumNodes(),
+				NNZ:       gm.NNZ(),
+				FactorNNZ: gm.FactorNNZ(),
+				Backend:   gm.SolverBackend(),
+				BuildTime: time.Since(start),
+				Queries:   len(sessions),
+			}
+			pms := make([][]float64, 0, len(sessions))
+			peaks := make([]float64, 0, len(sessions))
+			for _, s := range sessions {
+				pm, err := prof.TestPowerMap(s.Cores())
+				if err != nil {
+					return nil, err
+				}
+				pms = append(pms, pm)
+				t0 := time.Now()
+				gr, err := gm.SteadyState(pm)
+				pt.SolveTime += time.Since(t0)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %d×%d grid solve: %w", r, r, err)
+				}
+				peaks = append(peaks, gr.MaxTemp())
+				if mt := gr.MaxTemp(); mt > pt.PeakT {
+					pt.PeakT = mt
+				}
 			}
 			t0 := time.Now()
-			gr, err := gm.SteadyState(pm)
-			pt.SolveTime += time.Since(t0)
+			batch, err := gm.SteadyStateBatch(pms)
+			pt.BatchTime = time.Since(t0)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %d×%d grid solve: %w", r, r, err)
+				return nil, fmt.Errorf("experiments: %d×%d grid batch solve: %w", r, r, err)
 			}
-			if mt := gr.MaxTemp(); mt > pt.PeakT {
-				pt.PeakT = mt
+			// The batched pass must reproduce the per-query answers bit for
+			// bit — cheap to verify here, and it keeps every ladder run an
+			// end-to-end identity check of the fast path.
+			for i, gr := range batch {
+				if gr.MaxTemp() != peaks[i] {
+					return nil, fmt.Errorf("experiments: %d×%d batched solve diverged at session %d: %g vs %g",
+						r, r, i, gr.MaxTemp(), peaks[i])
+				}
 			}
+			out.Points = append(out.Points, pt)
 		}
-		out.Points = append(out.Points, pt)
 	}
 	return out, nil
 }
@@ -100,12 +154,13 @@ func (g *GridScaleResult) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Grid-resolution ladder — Table 1 schedule (TL=%.0f, STCL=%.0f, %d sessions) on n×n grids\n",
 		g.TL, g.STCL, g.Sessions)
-	fmt.Fprintf(&sb, "%6s %8s %9s %10s %16s %12s %12s %9s\n",
-		"grid", "nodes", "nnz", "factor", "backend", "build", "per-query", "peak °C")
+	fmt.Fprintf(&sb, "%6s %5s %8s %9s %10s %16s %12s %12s %12s %9s\n",
+		"grid", "ord", "nodes", "nnz", "factor", "backend", "build", "per-query", "batch/query", "peak °C")
 	for _, p := range g.Points {
-		fmt.Fprintf(&sb, "%3dx%-3d %8d %9d %10d %16s %12s %12s %9.2f\n",
-			p.Res, p.Res, p.Nodes, p.NNZ, p.FactorNNZ, p.Backend,
-			p.BuildTime.Round(time.Microsecond), p.PerQuery().Round(time.Microsecond), p.PeakT)
+		fmt.Fprintf(&sb, "%3dx%-3d %5s %8d %9d %10d %16s %12s %12s %12s %9.2f\n",
+			p.Res, p.Res, p.Ordering, p.Nodes, p.NNZ, p.FactorNNZ, p.Backend,
+			p.BuildTime.Round(time.Microsecond), p.PerQuery().Round(time.Microsecond),
+			p.PerQueryBatched().Round(time.Microsecond), p.PeakT)
 	}
 	return sb.String()
 }

@@ -24,41 +24,7 @@ import "sort"
 // apply before ordering.
 func RCM(s *Sparse) []int {
 	n := s.n
-	deg := make([]int, n)
-	total := 0
-	for i := 0; i < n; i++ {
-		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
-			if s.cols[k] != i {
-				deg[i]++
-			}
-		}
-		total += deg[i]
-	}
-
-	// A vertex is a hub when its degree dwarfs both the average degree and a
-	// fixed floor (so small graphs never trigger the path).
-	hubCut := n // unreachable: degrees are < n
-	if n > 0 {
-		if c := 8 * (total/n + 1); c > 16 {
-			hubCut = c
-		} else {
-			hubCut = 16
-		}
-	}
-	hub := make([]bool, n)
-	var hubs []int
-	for i := 0; i < n; i++ {
-		if deg[i] > hubCut {
-			hub[i] = true
-			hubs = append(hubs, i)
-		}
-	}
-	sort.Slice(hubs, func(a, b int) bool {
-		if deg[hubs[a]] != deg[hubs[b]] {
-			return deg[hubs[a]] < deg[hubs[b]]
-		}
-		return hubs[a] < hubs[b]
-	})
+	deg, hub, hubs := hubPartition(s)
 
 	// mark/stamp implement O(1) reset of the per-BFS visited set; done is the
 	// global "already ordered" set used to find the next component.
@@ -144,6 +110,49 @@ func RCM(s *Sparse) []int {
 	}
 	// Hubs eliminate last, lowest degree first.
 	return append(perm, hubs...)
+}
+
+// hubPartition computes the off-diagonal degree of every vertex and splits
+// out the hubs: vertices whose degree dwarfs both the average degree and a
+// fixed floor (so small graphs never trigger the path) — the heat-sink node
+// every spreader cell ties into is the canonical example. Both RCM and
+// NestedDissection defer hubs to the very end of the elimination order,
+// lowest degree first (ties by index), mirroring the dense-row deferral
+// production sparse solvers apply before ordering.
+func hubPartition(s *Sparse) (deg []int, hub []bool, hubs []int) {
+	n := s.n
+	deg = make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			if s.cols[k] != i {
+				deg[i]++
+			}
+		}
+		total += deg[i]
+	}
+	hubCut := n // unreachable: degrees are < n
+	if n > 0 {
+		if c := 8 * (total/n + 1); c > 16 {
+			hubCut = c
+		} else {
+			hubCut = 16
+		}
+	}
+	hub = make([]bool, n)
+	for i := 0; i < n; i++ {
+		if deg[i] > hubCut {
+			hub[i] = true
+			hubs = append(hubs, i)
+		}
+	}
+	sort.Slice(hubs, func(a, b int) bool {
+		if deg[hubs[a]] != deg[hubs[b]] {
+			return deg[hubs[a]] < deg[hubs[b]]
+		}
+		return hubs[a] < hubs[b]
+	})
+	return deg, hub, hubs
 }
 
 // Bandwidth returns the half-bandwidth of s under the given ordering

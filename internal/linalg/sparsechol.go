@@ -3,6 +3,7 @@ package linalg
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -28,6 +29,14 @@ type CholSymbolic struct {
 	// Pattern identity of the analysed matrix, for the cheap compatibility
 	// check in Factorize.
 	srcRowPtr, srcCols []int
+}
+
+// NewCholSymbolicOrdered analyses the pattern of the SPD matrix s under the
+// named fill-reducing ordering (OrderAuto resolves to RCM). Callers that
+// compute their own permutation — e.g. a geometric nested dissection for a
+// known grid topology — pass it to NewCholSymbolic directly.
+func NewCholSymbolicOrdered(s *Sparse, ord Ordering) (*CholSymbolic, error) {
+	return NewCholSymbolic(s, ord.Perm(s))
 }
 
 // NewCholSymbolic analyses the pattern of the SPD matrix s under the given
@@ -185,6 +194,16 @@ func (sym *CholSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
 		b := make([]float64, n)
 		return &b
 	}
+	ch.spPool.New = func() any {
+		// mark starts zeroed and the stamp at 0, so the first use (stamp 1)
+		// sees every node unmarked; w relies on the all-zero-between-uses
+		// invariant SolveSparseInto maintains.
+		return &spScratch{w: make([]float64, n), mark: make([]int, n)}
+	}
+	ch.mrhsPool.New = func() any {
+		b := []float64(nil)
+		return &b
+	}
 
 	// Up-looking factorization (Davis, "Direct Methods for Sparse Linear
 	// Systems", cs_chol): for each row k, ereach gives the pattern of
@@ -251,11 +270,24 @@ func (sym *CholSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
 // concurrent solves: the permuted work vector each solve needs comes from an
 // internal pool, so SolveInto allocates nothing in steady state.
 type SparseCholesky struct {
-	sym  *CholSymbolic
-	lp   []int // column pointers (shared with sym.colPtr)
-	li   []int // row indices
-	lx   []float64
-	pool sync.Pool // *[]float64 scratch, len n
+	sym      *CholSymbolic
+	lp       []int // column pointers (shared with sym.colPtr)
+	li       []int // row indices
+	lx       []float64
+	pool     sync.Pool // *[]float64 scratch, len n
+	spPool   sync.Pool // *spScratch for sparse-RHS solves
+	mrhsPool sync.Pool // *[]float64 interleaved multi-RHS workspace
+}
+
+// spScratch is the pooled workspace of one sparse-RHS solve: w holds the
+// permuted work vector (all-zero between uses), mark/stamp implement the O(1)
+// reset of the reach traversal's visited set, and reach keeps its grown
+// capacity across calls.
+type spScratch struct {
+	w     []float64
+	mark  []int
+	reach []int
+	stamp int
 }
 
 // NewSparseCholesky analyses and factorizes s in one call under an RCM
@@ -264,6 +296,16 @@ type SparseCholesky struct {
 // and call Factorize per matrix.
 func NewSparseCholesky(s *Sparse) (*SparseCholesky, error) {
 	sym, err := NewCholSymbolic(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return sym.Factorize(s)
+}
+
+// NewSparseCholeskyOrdered analyses and factorizes s in one call under the
+// named fill-reducing ordering.
+func NewSparseCholeskyOrdered(s *Sparse, ord Ordering) (*SparseCholesky, error) {
+	sym, err := NewCholSymbolicOrdered(s, ord)
 	if err != nil {
 		return nil, err
 	}
@@ -324,5 +366,161 @@ func (c *SparseCholesky) SolveInto(dst, b []float64) error {
 		dst[perm[k]] = w[k]
 	}
 	c.pool.Put(wp)
+	return nil
+}
+
+// SolveSparseInto solves A·x = b for a *sparse* right-hand side: nz lists the
+// index of every (potentially) non-zero entry of b. Duplicates in nz are
+// harmless; an index missing from nz whose b entry is non-zero silently
+// yields a wrong answer, so nz must cover the support of b. Only the columns
+// in the elimination-tree reach of nz run the forward substitution
+// (Gilbert–Peierls: the pattern of y in L·y = P·b is the union of the etree
+// paths from supp(P·b) to the root), so a right-hand side touching one test
+// session's power footprint skips the forward work of every untouched
+// subtree. The backward pass stays dense because the solution itself is.
+//
+// The result is bit-identical to SolveInto on the same b (the skipped columns
+// contribute exact zeros), so callers may mix the two paths freely. dst may
+// alias b; the call is allocation-free in steady state and safe for
+// concurrent use.
+func (c *SparseCholesky) SolveSparseInto(dst, b []float64, nz []int) error {
+	n := c.sym.n
+	if len(b) != n || len(dst) != n {
+		return fmt.Errorf("%w: SparseCholesky.SolveSparseInto with len(dst)=%d, len(b)=%d, n=%d",
+			ErrShape, len(dst), len(b), n)
+	}
+	for _, i := range nz {
+		if i < 0 || i >= n {
+			return fmt.Errorf("%w: SolveSparseInto nz index %d out of range [0,%d)", ErrShape, i, n)
+		}
+	}
+	sc := c.spPool.Get().(*spScratch)
+	w, mark := sc.w, sc.mark
+	sc.stamp++
+	stamp := sc.stamp
+	reach := sc.reach[:0]
+	pinv, parent := c.sym.pinv, c.sym.parent
+	for _, i := range nz {
+		for k := pinv[i]; k != -1 && mark[k] != stamp; k = parent[k] {
+			mark[k] = stamp
+			reach = append(reach, k)
+		}
+	}
+	// Bit-identity with SolveInto pins the forward pass to ascending column
+	// order, so the reach must be sorted; once the reach covers a sizeable
+	// share of the tree, the sort plus bookkeeping costs more than the
+	// skipped columns saved. Past that point hand the (identical) answer to
+	// the plain dense-RHS solve. The threshold is deliberately conservative:
+	// the fast path is for footprints that touch a corner of the die, where
+	// the reach is a few separators plus local subtrees.
+	if len(reach) > n/4 {
+		sc.reach = reach
+		c.spPool.Put(sc)
+		return c.SolveInto(dst, b)
+	}
+	sort.Ints(reach)
+	for _, i := range nz {
+		w[pinv[i]] = b[i]
+	}
+	// Forward: L·y = P·b over the reach only. Column j of L updates only
+	// etree ancestors of j, which are in the reach by closure, so no update
+	// escapes the set.
+	for _, j := range reach {
+		yj := w[j] / c.lx[c.lp[j]]
+		w[j] = yj
+		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
+			w[c.li[p]] -= c.lx[p] * yj
+		}
+	}
+	// Backward: Lᵀ·z = y, dense — x has no useful sparsity.
+	for j := n - 1; j >= 0; j-- {
+		s := w[j]
+		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
+			s -= c.lx[p] * w[c.li[p]]
+		}
+		w[j] = s / c.lx[c.lp[j]]
+	}
+	perm := c.sym.perm
+	for k := 0; k < n; k++ {
+		dst[perm[k]] = w[k]
+		w[k] = 0 // restore the all-zero invariant before pooling
+	}
+	sc.reach = reach
+	c.spPool.Put(sc)
+	return nil
+}
+
+// SolveManyInto solves A·xᵣ = bᵣ for all right-hand sides b[0..k) in one
+// blocked pass over the factor: each column of L is loaded once and applied
+// to all k work vectors (interleaved layout), so the memory traffic over a
+// multi-megabyte factor — the cost that dominates grid-scale solves — is paid
+// once instead of k times. Every solution is bit-identical to a SolveInto on
+// its own right-hand side (per-vector operations run in the same order), so
+// batched and per-query paths may be mixed freely. dst[r] may alias b[r];
+// the workspace is pooled, so the call is allocation-free in steady state and
+// safe for concurrent use.
+func (c *SparseCholesky) SolveManyInto(dst, b [][]float64) error {
+	if len(dst) != len(b) {
+		return fmt.Errorf("%w: SolveManyInto with %d dst vectors, %d rhs", ErrShape, len(dst), len(b))
+	}
+	k := len(b)
+	if k == 0 {
+		return nil
+	}
+	if k == 1 {
+		return c.SolveInto(dst[0], b[0])
+	}
+	n := c.sym.n
+	for r := 0; r < k; r++ {
+		if len(b[r]) != n || len(dst[r]) != n {
+			return fmt.Errorf("%w: SolveManyInto rhs %d has len(dst)=%d, len(b)=%d, n=%d",
+				ErrShape, r, len(dst[r]), len(b[r]), n)
+		}
+	}
+	wp := c.mrhsPool.Get().(*[]float64)
+	if cap(*wp) < k*n {
+		*wp = make([]float64, k*n)
+	}
+	w := (*wp)[:k*n]
+	perm := c.sym.perm
+	for j := 0; j < n; j++ {
+		pj, base := perm[j], j*k
+		for r := 0; r < k; r++ {
+			w[base+r] = b[r][pj]
+		}
+	}
+	for j := 0; j < n; j++ {
+		base := j * k
+		d := c.lx[c.lp[j]]
+		for r := 0; r < k; r++ {
+			w[base+r] /= d
+		}
+		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
+			ib, v := c.li[p]*k, c.lx[p]
+			for r := 0; r < k; r++ {
+				w[ib+r] -= v * w[base+r]
+			}
+		}
+	}
+	for j := n - 1; j >= 0; j-- {
+		base := j * k
+		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
+			ib, v := c.li[p]*k, c.lx[p]
+			for r := 0; r < k; r++ {
+				w[base+r] -= v * w[ib+r]
+			}
+		}
+		d := c.lx[c.lp[j]]
+		for r := 0; r < k; r++ {
+			w[base+r] /= d
+		}
+	}
+	for j := 0; j < n; j++ {
+		pj, base := perm[j], j*k
+		for r := 0; r < k; r++ {
+			dst[r][pj] = w[base+r]
+		}
+	}
+	c.mrhsPool.Put(wp)
 	return nil
 }

@@ -77,11 +77,12 @@ type SystemDesc struct {
 	Profile *power.Profile
 	// Backend identifies the solver configuration that produced the cached
 	// answers, e.g. "dense-cholesky", "sparse-cholesky" (block models, from
-	// Model.SolverBackend) or "grid-48x48" (grid oracles, from DescForGrid —
-	// the concrete solver and its fixed tolerance are deterministic
-	// functions of the dimensions, so they are folded in implicitly; anyone
-	// changing GridModel's fill budget or CG tolerance must also version
-	// this string or old files will answer with different round-off).
+	// Model.SolverBackend) or "grid-nd-48x48" (grid oracles, from DescForGrid
+	// — the concrete solver, its elimination ordering and its fixed
+	// tolerance are deterministic functions of the dimensions, so they are
+	// folded in implicitly; anyone changing GridModel's default ordering,
+	// fill budget or CG tolerance must also version this string or old
+	// files will answer with different round-off).
 	// Different backends differ in discretisation and round-off, so their
 	// answers must not share a file.
 	Backend string
@@ -101,17 +102,28 @@ func DescForModel(m *thermal.Model, prof *power.Profile) SystemDesc {
 }
 
 // DescForGrid describes the grid-resolution oracle (core.GridOracle) of an
-// nx×ny discretisation — without needing the grid model built, so a
-// lazily-constructed oracle can be content-addressed before paying for its
-// factorization. The concrete solver (direct vs IC(0)-CG past the fill
-// budget) is a deterministic function of these same inputs, so folding the
-// dimensions into the backend name keeps the key canonical.
-func DescForGrid(fp *floorplan.Floorplan, cfg thermal.PackageConfig, prof *power.Profile, nx, ny int) SystemDesc {
+// nx×ny discretisation under the given solver options — without needing the
+// grid model built, so a lazily-constructed oracle can be content-addressed
+// before paying for its factorization. The backend name is derived from the
+// *canonical* options (thermal.GridOptions.Canonical), because they change
+// the solve's round-off: the elimination ordering always, and the fill
+// budget by flipping the model onto the CG fallback. The concrete solver is
+// a deterministic function of these inputs plus the dimensions, so equal
+// names guarantee bit-equal answers; keys written under the earlier
+// implicit-RCM scheme ("grid-NxN") are left behind rather than mixed in.
+// A non-default budget is folded in only when set, keeping default keys
+// stable across budget-constant releases.
+func DescForGrid(fp *floorplan.Floorplan, cfg thermal.PackageConfig, prof *power.Profile, nx, ny int, opts thermal.GridOptions) SystemDesc {
+	opts = opts.Canonical()
+	backend := fmt.Sprintf("grid-%s-%dx%d", opts.Ordering, nx, ny)
+	if opts.FillBudget != thermal.DefaultGridFillBudget {
+		backend = fmt.Sprintf("%s-fb%d", backend, opts.FillBudget)
+	}
 	return SystemDesc{
 		Floorplan: fp,
 		Package:   cfg,
 		Profile:   prof,
-		Backend:   fmt.Sprintf("grid-%dx%d", nx, ny),
+		Backend:   backend,
 	}
 }
 

@@ -536,3 +536,70 @@ func TestStoreSharesSystemHandles(t *testing.T) {
 		t.Error("same system opened twice returned distinct caches")
 	}
 }
+
+func TestStoreOracleBatch(t *testing.T) {
+	dir := t.TempDir()
+	desc, spec, m := alphaDesc(t)
+	sim := core.NewSimOracle(m, spec.Profile())
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := st.System(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := sc.Wrap(sim).(core.BatchOracle)
+
+	// Mixed batch: one key warmed through the single path, the rest cold.
+	warm, err := oracle.BlockTemps([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := [][]int{{0}, {2}, {1, 3}}
+	got, err := oracle.BlockTempsBatch(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range warm {
+		if got[1][b] != warm[b] {
+			t.Fatalf("batch store hit differs from single query at block %d", b)
+		}
+	}
+	if hits, misses := sc.Stats(); hits != 1 || misses != 3 {
+		t.Errorf("store stats = (%d hits, %d misses), want (1, 3)", hits, misses)
+	}
+	if sc.Len() != 3 {
+		t.Errorf("store holds %d records, want 3 (batch misses persisted)", sc.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process answers the whole batch from disk, bit-exact.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sc2, err := st2.System(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := 0
+	warmOracle := sc2.WrapLazy(func() (core.Oracle, error) { builds++; return sim, nil }).(core.BatchOracle)
+	again, err := warmOracle.BlockTempsBatch(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds != 0 {
+		t.Errorf("fully warm batch built the inner oracle %d times", builds)
+	}
+	for i := range got {
+		for b := range got[i] {
+			if again[i][b] != got[i][b] {
+				t.Fatalf("warm batch session %d block %d differs (want bit-exact)", i, b)
+			}
+		}
+	}
+}

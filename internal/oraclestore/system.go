@@ -412,4 +412,50 @@ func (o *storeOracle) BlockTemps(active []int) ([]float64, error) {
 	return temps, nil
 }
 
-var _ core.Oracle = (*storeOracle)(nil)
+// BlockTempsBatch implements core.BatchOracle: store misses are forwarded to
+// the inner oracle as one batch (one blocked multi-RHS solve on a grid
+// oracle) and each answer is persisted, so the hit/miss counters and the
+// records on disk come out exactly as if the sessions had been queried one at
+// a time.
+func (o *storeOracle) BlockTempsBatch(sessions [][]int) ([][]float64, error) {
+	out := make([][]float64, len(sessions))
+	var missIdx []int
+	for i, s := range sessions {
+		if temps, ok := o.cache.Get(s); ok {
+			out[i] = temps
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	miss := make([][]int, len(missIdx))
+	for k, i := range missIdx {
+		miss[k] = sessions[i]
+	}
+	var res [][]float64
+	if b, ok := o.inner.(core.BatchOracle); ok {
+		r, err := b.BlockTempsBatch(miss)
+		if err != nil {
+			return nil, err
+		}
+		res = r
+	} else {
+		res = make([][]float64, len(miss))
+		for k, s := range miss {
+			temps, err := o.inner.BlockTemps(s)
+			if err != nil {
+				return nil, err
+			}
+			res[k] = temps
+		}
+	}
+	for k, i := range missIdx {
+		out[i] = res[k]
+		_ = o.cache.Put(sessions[i], res[k])
+	}
+	return out, nil
+}
+
+var _ core.BatchOracle = (*storeOracle)(nil)

@@ -121,6 +121,71 @@ func TestBlockModelSolversCrossValidate(t *testing.T) {
 	}
 }
 
+func TestGridOrderingsCrossValidate(t *testing.T) {
+	// Dense Cholesky vs sparse Cholesky under RCM, the general
+	// nested-dissection fallback and the geometric grid fast path: all four
+	// must agree to 1e-8 on fuzzed grid systems. This is the correctness
+	// anchor for the ordering becoming configurable — a permutation bug shows
+	// up here before it can corrupt a schedule.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		blocks := 2 + rng.Intn(8)
+		fp, err := floorplan.Random(floorplan.RandomOptions{Blocks: blocks, Seed: int64(300 + trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fuzzConfig(rng)
+		nx, ny := 3+rng.Intn(8), 3+rng.Intn(8)
+		gm, err := NewGridModel(fp, cfg, nx, ny)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rhs := make([]float64, gm.NumNodes())
+		for b := 0; b < blocks; b++ {
+			p := 30 * rng.Float64()
+			for _, cs := range gm.cellPowerWeight[b] {
+				rhs[cs.cell] += p * cs.frac
+			}
+		}
+		dense, err := linalg.SolveSPD(gm.sys.Dense(), rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scaleMax float64
+		for _, v := range dense {
+			scaleMax = math.Max(scaleMax, math.Abs(v))
+		}
+		solvers := map[string]*linalg.SparseCholesky{}
+		if solvers["rcm"], err = linalg.NewSparseCholeskyOrdered(gm.sys, linalg.OrderRCM); err != nil {
+			t.Fatal(err)
+		}
+		if solvers["nd"], err = linalg.NewSparseCholeskyOrdered(gm.sys, linalg.OrderND); err != nil {
+			t.Fatal(err)
+		}
+		geoSym, err := linalg.NewCholSymbolic(gm.sys, gm.ndPerm())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solvers["nd-geometric"], err = geoSym.Factorize(gm.sys); err != nil {
+			t.Fatal(err)
+		}
+		for name, ch := range solvers {
+			x, err := ch.Solve(rhs)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			var dev float64
+			for i := range dense {
+				dev = math.Max(dev, math.Abs(dense[i]-x[i]))
+			}
+			if dev/(1+scaleMax) > 1e-8 {
+				t.Errorf("trial %d (%dx%d grid): %s deviates %g > 1e-8 from dense",
+					trial, nx, ny, name, dev/(1+scaleMax))
+			}
+		}
+	}
+}
+
 func TestGridSteadyStateMatchesLegacyCG(t *testing.T) {
 	// The factored grid backend must reproduce what a from-scratch CG solve
 	// at the old per-query tolerance produced, on the stock floorplan.

@@ -10,13 +10,43 @@ import (
 	"repro/internal/linalg"
 )
 
-// maxGridFactorNNZ bounds the sparse Cholesky fill GridModel will accept
-// before falling back to preconditioned CG: 2²⁴ factor entries is roughly
-// 200 MB, which comfortably covers grids of ~100k nodes under RCM while
-// keeping pathological resolutions from exhausting memory. The symbolic
-// analysis reports the exact fill before any numeric work, so the decision
-// is free.
-const maxGridFactorNNZ = 1 << 24
+// DefaultGridFillBudget bounds the sparse Cholesky fill GridModel will accept
+// before falling back to preconditioned CG when GridOptions.FillBudget is
+// unset: 2²⁴ factor entries is roughly 200 MB, which comfortably covers the
+// 256×256 grid (131k nodes) under the default geometric nested-dissection
+// ordering — and only ~100k nodes under RCM, whose fill grows as n^1.5 —
+// while keeping pathological resolutions from exhausting memory. The active
+// ordering therefore decides where the budget bites; the symbolic analysis
+// reports the exact fill before any numeric work, so the decision is free.
+const DefaultGridFillBudget = 1 << 24
+
+// GridOptions tunes the grid model's solver construction.
+type GridOptions struct {
+	// FillBudget caps the factor non-zeros the direct backend may allocate
+	// before the model falls back to IC(0)-preconditioned CG. 0 selects
+	// DefaultGridFillBudget.
+	FillBudget int
+	// Ordering selects the fill-reducing elimination ordering. OrderAuto (the
+	// zero value) resolves to nested dissection — the grid's k×k topology is
+	// known exactly, so the geometric separator fast path applies; OrderRCM
+	// keeps the band-profile ordering for comparison runs.
+	Ordering linalg.Ordering
+}
+
+// Canonical resolves the option defaults (OrderAuto → nested dissection,
+// zero budget → DefaultGridFillBudget). It is the single source of truth for
+// what a zero GridOptions means: NewGridModelWithOptions builds from it, and
+// the oracle store derives its content-address from it, so two models with
+// equal canonical options are guaranteed the same solver round-off.
+func (o GridOptions) Canonical() GridOptions {
+	if o.Ordering == linalg.OrderAuto {
+		o.Ordering = linalg.OrderND
+	}
+	if o.FillBudget == 0 {
+		o.FillBudget = DefaultGridFillBudget
+	}
+	return o
+}
 
 // GridModel is the fine-grained counterpart of the block Model: the die is
 // discretised into a regular nx×ny cell grid (HotSpot's "grid mode"),
@@ -26,26 +56,33 @@ const maxGridFactorNNZ = 1 << 24
 // fields.
 //
 // The steady-state backend is a fill-reducing sparse Cholesky factored once
-// at construction, so every SteadyState query costs two sparse triangular
-// solves — the property that makes per-session oracle sweeps over one
-// floorplan cheap at grid scale. Resolutions whose factor would exceed
-// maxGridFactorNNZ fall back to IC(0)-preconditioned conjugate gradients
-// with pooled scratch. GridModel is safe for concurrent queries.
+// at construction — under a geometric nested-dissection ordering by default
+// (GridOptions.Ordering) — so every SteadyState query costs two sparse
+// triangular solves; SteadyStateActive further restricts the forward solve to
+// the elimination-tree reach of the active power footprint and
+// SteadyStateBatch amortises one factor pass over many queries. Together
+// these are what make per-session oracle sweeps over one floorplan cheap at
+// grid scale. Resolutions whose factor would exceed the fill budget fall back
+// to IC(0)-preconditioned conjugate gradients with pooled scratch. GridModel
+// is safe for concurrent queries.
 //
 // Node layout for nc = nx·ny cells: [0, nc) silicon, [nc, 2nc) spreader,
 // 2nc rim, 2nc+1 sink; ambient is the eliminated ground.
 type GridModel struct {
-	fp     *floorplan.Floorplan
-	cfg    PackageConfig
-	nx, ny int
-	cellW  float64
-	cellH  float64
-	sys    *linalg.Sparse
+	fp         *floorplan.Floorplan
+	cfg        PackageConfig
+	nx, ny     int
+	cellW      float64
+	cellH      float64
+	sys        *linalg.Sparse
+	ord        linalg.Ordering // resolved ordering (never OrderAuto)
+	fillBudget int
 
 	chol    *linalg.SparseCholesky // direct backend; nil → iterative fallback
 	precond linalg.Preconditioner  // CG preconditioner on the fallback path
 	cgPool  sync.Pool              // *linalg.CGScratch for the fallback
 	rhsPool sync.Pool              // *[]float64 node-vector buffers
+	nzPool  sync.Pool              // *[]int sparse-RHS support scratch
 
 	// cellPowerWeight[b] lists (cell, fraction) pairs: fraction of block
 	// b's power deposited in that cell.
@@ -59,8 +96,15 @@ type cellShare struct {
 	frac float64
 }
 
-// NewGridModel discretises fp's die into an nx×ny grid under cfg.
+// NewGridModel discretises fp's die into an nx×ny grid under cfg with
+// default solver options (nested-dissection ordering, default fill budget).
 func NewGridModel(fp *floorplan.Floorplan, cfg PackageConfig, nx, ny int) (*GridModel, error) {
+	return NewGridModelWithOptions(fp, cfg, nx, ny, GridOptions{})
+}
+
+// NewGridModelWithOptions discretises fp's die into an nx×ny grid under cfg
+// with an explicit ordering and fill budget.
+func NewGridModelWithOptions(fp *floorplan.Floorplan, cfg PackageConfig, nx, ny int, opts GridOptions) (*GridModel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -71,13 +115,16 @@ func NewGridModel(fp *floorplan.Floorplan, cfg PackageConfig, nx, ny int) (*Grid
 	if cfg.SpreaderSide < die.W || cfg.SpreaderSide < die.H {
 		return nil, fmt.Errorf("%w: spreader smaller than die", ErrModel)
 	}
+	opts = opts.Canonical()
 	g := &GridModel{
-		fp:    fp,
-		cfg:   cfg,
-		nx:    nx,
-		ny:    ny,
-		cellW: die.W / float64(nx),
-		cellH: die.H / float64(ny),
+		fp:         fp,
+		cfg:        cfg,
+		nx:         nx,
+		ny:         ny,
+		cellW:      die.W / float64(nx),
+		cellH:      die.H / float64(ny),
+		ord:        opts.Ordering,
+		fillBudget: opts.FillBudget,
 	}
 	g.mapBlocks()
 	g.assemble()
@@ -90,18 +137,38 @@ func NewGridModel(fp *floorplan.Floorplan, cfg PackageConfig, nx, ny int) (*Grid
 		return &b
 	}
 	g.cgPool.New = func() any { return &linalg.CGScratch{} }
+	g.nzPool.New = func() any {
+		b := []int(nil)
+		return &b
+	}
 	return g, nil
 }
 
-// buildSolver factorizes the assembled system once — the symbolic analysis
-// predicts the exact fill, steering oversized grids onto the preconditioned
-// CG fallback instead of an out-of-memory factor.
+// ndPerm is the geometric nested-dissection elimination order for the known
+// two-layer grid topology: recursive coordinate bisection over the nx×ny
+// cell mesh with the silicon and spreader copy of each separator cell
+// eliminated together, then the rim and sink hubs last (they couple to every
+// boundary / every spreader cell respectively, so eliminating either earlier
+// would fill an entire factor row).
+func (g *GridModel) ndPerm() []int {
+	perm := linalg.NestedDissectionGrid(g.nx, g.ny, 2)
+	return append(perm, g.rimNode(), g.sinkNode())
+}
+
+// buildSolver factorizes the assembled system once under the configured
+// ordering — the symbolic analysis predicts the exact fill, steering
+// oversized grids onto the preconditioned CG fallback instead of an
+// out-of-memory factor.
 func (g *GridModel) buildSolver() error {
-	sym, err := linalg.NewCholSymbolic(g.sys, nil)
+	var perm []int // nil → hub-aware RCM inside NewCholSymbolic
+	if g.ord == linalg.OrderND {
+		perm = g.ndPerm()
+	}
+	sym, err := linalg.NewCholSymbolic(g.sys, perm)
 	if err != nil {
 		return fmt.Errorf("%w: grid system not SPD: %v", ErrModel, err)
 	}
-	if sym.LNNZ() <= maxGridFactorNNZ {
+	if sym.LNNZ() <= g.fillBudget {
 		ch, err := sym.Factorize(g.sys)
 		if err != nil {
 			return fmt.Errorf("%w: grid system not SPD: %v", ErrModel, err)
@@ -137,6 +204,14 @@ func (g *GridModel) SolverBackend() string {
 		return "unknown"
 	}
 }
+
+// Ordering reports the fill-reducing ordering the model was configured with
+// ("nd" or "rcm"). On the CG fallback it names the ordering whose symbolic
+// fill probe exceeded the budget, even though no factor was kept.
+func (g *GridModel) Ordering() string { return g.ord.String() }
+
+// FillBudget returns the factor-fill bound the direct backend was allowed.
+func (g *GridModel) FillBudget() int { return g.fillBudget }
 
 // FactorNNZ returns the non-zero count of the cached Cholesky factor, or 0 on
 // the iterative fallback.
@@ -319,6 +394,115 @@ func (g *GridModel) SteadyState(power []float64) (*GridResult, error) {
 		temps[i] += g.cfg.Ambient
 	}
 	return &GridResult{model: g, temps: temps}, nil
+}
+
+// SteadyStateActive solves the grid for a power map whose only non-zero
+// entries are the blocks listed in active — the exact query shape of
+// Algorithm 1's validation oracle, where passive cores idle at zero power.
+// On the direct backend the right-hand side's support is the active blocks'
+// cell footprint, so the forward triangular solve is restricted to its
+// elimination-tree reach (SolveSparseInto) and untouched subtrees cost
+// nothing. The result is bit-identical to SteadyState on the same power map.
+// Blocks outside active must carry zero power; active may repeat a block.
+func (g *GridModel) SteadyStateActive(power []float64, active []int) (*GridResult, error) {
+	if len(power) != g.fp.NumBlocks() {
+		return nil, fmt.Errorf("%w: got %d entries, floorplan has %d blocks",
+			ErrPowerShape, len(power), g.fp.NumBlocks())
+	}
+	// Validate active before any backend dispatch, so a caller bug errors
+	// identically whether or not the fill budget forced the CG fallback.
+	foot := 0
+	for _, b := range active {
+		if b < 0 || b >= g.fp.NumBlocks() {
+			return nil, fmt.Errorf("%w: active block %d outside [0,%d)",
+				ErrPowerShape, b, g.fp.NumBlocks())
+		}
+		foot += len(g.blockCells[b])
+	}
+	if g.chol == nil {
+		return g.SteadyState(power) // CG fallback has no sparse-RHS fast path
+	}
+	// Pre-gate on the footprint alone: the elimination-tree reach is at
+	// least as large as the footprint, so once the active cells cover a
+	// quarter of the nodes the sparse path cannot win — skip the per-cell
+	// support list and the reach walk entirely (the answer is bit-identical
+	// either way).
+	if 4*foot > g.NumNodes() {
+		return g.SteadyState(power)
+	}
+	rhsP := g.rhsPool.Get().(*[]float64)
+	rhs := *rhsP
+	if err := g.depositPower(rhs, power); err != nil {
+		g.rhsPool.Put(rhsP)
+		return nil, err
+	}
+	nzP := g.nzPool.Get().(*[]int)
+	nz := (*nzP)[:0]
+	for _, b := range active {
+		nz = append(nz, g.blockCells[b]...)
+	}
+	temps := make([]float64, len(rhs))
+	err := g.chol.SolveSparseInto(temps, rhs, nz)
+	*nzP = nz
+	g.nzPool.Put(nzP)
+	g.rhsPool.Put(rhsP)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: grid solve: %w", err)
+	}
+	for i := range temps {
+		temps[i] += g.cfg.Ambient
+	}
+	return &GridResult{model: g, temps: temps}, nil
+}
+
+// gridBatchWidth bounds how many right-hand sides one blocked factor pass
+// carries: wide enough to amortise the factor traffic, narrow enough that the
+// k·n interleaved workspace stays cache- and memory-friendly at 256×256.
+const gridBatchWidth = 16
+
+// SteadyStateBatch solves many power maps against the shared factorization
+// with blocked multi-RHS triangular passes (SolveManyInto): each column of
+// the factor is streamed once per batch of up to gridBatchWidth queries
+// instead of once per query. Every result is bit-identical to the
+// corresponding SteadyState call; on the CG fallback the maps are solved one
+// at a time.
+func (g *GridModel) SteadyStateBatch(powers [][]float64) ([]*GridResult, error) {
+	out := make([]*GridResult, len(powers))
+	if g.chol == nil {
+		for i, pm := range powers {
+			r, err := g.SteadyState(pm)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	vecs := make([][]float64, len(powers))
+	for i, pm := range powers {
+		if len(pm) != g.fp.NumBlocks() {
+			return nil, fmt.Errorf("%w: batch entry %d has %d entries, floorplan has %d blocks",
+				ErrPowerShape, i, len(pm), g.fp.NumBlocks())
+		}
+		v := make([]float64, g.NumNodes())
+		if err := g.depositPower(v, pm); err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+	}
+	for lo := 0; lo < len(vecs); lo += gridBatchWidth {
+		hi := min(lo+gridBatchWidth, len(vecs))
+		if err := g.chol.SolveManyInto(vecs[lo:hi], vecs[lo:hi]); err != nil {
+			return nil, fmt.Errorf("thermal: grid batch solve: %w", err)
+		}
+	}
+	for i, v := range vecs {
+		for j := range v {
+			v[j] += g.cfg.Ambient
+		}
+		out[i] = &GridResult{model: g, temps: v}
+	}
+	return out, nil
 }
 
 // SteadyStateCG solves the grid with a from-scratch Jacobi-preconditioned CG

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/floorplan"
+	"repro/internal/linalg"
 )
 
 func alphaGrid(t *testing.T, nx, ny int) *GridModel {
@@ -237,5 +238,180 @@ func TestGridHeatmap(t *testing.T) {
 	}
 	if g.NumCells() != 400 {
 		t.Errorf("NumCells = %d", g.NumCells())
+	}
+}
+
+func TestGridOrderingFillReduction(t *testing.T) {
+	// The acceptance bar of the nested-dissection fast path: at 128×128 the
+	// ND factor holds at most half the non-zeros of the RCM factor, and a
+	// 256×256 grid fits the default fill budget that RCM blows through.
+	// Both checks run on the symbolic analysis alone — exact fill counts,
+	// no numeric factorization — so the test stays fast under -race.
+	fp := floorplan.Alpha21364()
+	cfg := DefaultPackageConfig()
+	die := fp.Die()
+	build := func(res int) *GridModel {
+		g := &GridModel{
+			fp: fp, cfg: cfg, nx: res, ny: res,
+			cellW: die.W / float64(res), cellH: die.H / float64(res),
+			ord: linalg.OrderND, fillBudget: DefaultGridFillBudget,
+		}
+		g.mapBlocks()
+		g.assemble()
+		return g
+	}
+
+	g := build(128)
+	ndSym, err := linalg.NewCholSymbolic(g.sys, g.ndPerm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcmSym, err := linalg.NewCholSymbolicOrdered(g.sys, linalg.OrderRCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("128×128: nd fill %d, rcm fill %d (%.1fx)",
+		ndSym.LNNZ(), rcmSym.LNNZ(), float64(rcmSym.LNNZ())/float64(ndSym.LNNZ()))
+	if 2*ndSym.LNNZ() > rcmSym.LNNZ() {
+		t.Errorf("128×128 ND fill %d exceeds half the RCM fill %d", ndSym.LNNZ(), rcmSym.LNNZ())
+	}
+
+	if testing.Short() || raceEnabled {
+		// Pure integer counting with no concurrency: under the race detector
+		// the 256×256 analysis costs ~a minute for zero extra coverage.
+		t.Skip("256×256 symbolic analysis skipped in -short mode and under -race")
+	}
+	g256 := build(256)
+	nd256, err := linalg.NewCholSymbolic(g256.sys, g256.ndPerm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("256×256: nd fill %d (budget %d)", nd256.LNNZ(), DefaultGridFillBudget)
+	if nd256.LNNZ() > DefaultGridFillBudget {
+		t.Errorf("256×256 ND fill %d exceeds the default budget %d", nd256.LNNZ(), DefaultGridFillBudget)
+	}
+}
+
+func TestGridSteadyStateActiveAndBatchBitIdentical(t *testing.T) {
+	// The sparse-RHS and blocked multi-RHS paths must reproduce SteadyState
+	// bit for bit — that identity is what lets the oracle mix them freely
+	// without perturbing schedules.
+	g := alphaGrid(t, 24, 24)
+	nb := g.Floorplan().NumBlocks()
+	sessions := [][]int{{0}, {3, 7}, {1, 2, 11}, {0, 5, 8, 14}, {4}}
+	powers := make([][]float64, len(sessions))
+	want := make([]*GridResult, len(sessions))
+	for i, act := range sessions {
+		pm := make([]float64, nb)
+		for _, b := range act {
+			pm[b] = 12 + float64(b)
+		}
+		powers[i] = pm
+		res, err := g.SteadyState(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	for i, act := range sessions {
+		res, err := g.SteadyStateActive(powers[i], act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range res.temps {
+			if res.temps[j] != want[i].temps[j] {
+				t.Fatalf("session %d: SteadyStateActive differs at node %d: %g vs %g",
+					i, j, res.temps[j], want[i].temps[j])
+			}
+		}
+	}
+	batch, err := g.SteadyStateBatch(powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		for j := range batch[i].temps {
+			if batch[i].temps[j] != want[i].temps[j] {
+				t.Fatalf("session %d: SteadyStateBatch differs at node %d", i, j)
+			}
+		}
+	}
+	if _, err := g.SteadyStateActive(powers[0], []int{nb}); err == nil {
+		t.Error("out-of-range active block should fail")
+	}
+	if _, err := g.SteadyStateBatch([][]float64{make([]float64, nb+1)}); err == nil {
+		t.Error("mis-shaped batch entry should fail")
+	}
+	if empty, err := g.SteadyStateBatch(nil); err != nil || len(empty) != 0 {
+		t.Errorf("empty batch: %v, %v", empty, err)
+	}
+}
+
+func TestGridFillBudgetOption(t *testing.T) {
+	fp := floorplan.Alpha21364()
+	cfg := DefaultPackageConfig()
+	direct, err := NewGridModelWithOptions(fp, cfg, 16, 16, GridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.SolverBackend() != "sparse-cholesky" || direct.Ordering() != "nd" {
+		t.Fatalf("default options: backend %q ordering %q", direct.SolverBackend(), direct.Ordering())
+	}
+	if direct.FillBudget() != DefaultGridFillBudget {
+		t.Errorf("FillBudget = %d, want default %d", direct.FillBudget(), DefaultGridFillBudget)
+	}
+	rcm, err := NewGridModelWithOptions(fp, cfg, 16, 16, GridOptions{Ordering: linalg.OrderRCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcm.Ordering() != "rcm" || rcm.SolverBackend() != "sparse-cholesky" {
+		t.Fatalf("rcm options: backend %q ordering %q", rcm.SolverBackend(), rcm.Ordering())
+	}
+	// A starved budget forces the iterative fallback; answers must still
+	// agree with the direct backend.
+	tiny, err := NewGridModelWithOptions(fp, cfg, 16, 16, GridOptions{FillBudget: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.SolverBackend() != "cg-ic0" || tiny.FactorNNZ() != 0 {
+		t.Fatalf("starved budget: backend %q factor %d", tiny.SolverBackend(), tiny.FactorNNZ())
+	}
+	pm := make([]float64, fp.NumBlocks())
+	pm[0], pm[6] = 25, 18
+	dres, err := direct.SteadyState(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres, err := tiny.SteadyState(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(dres.MaxTemp() - tres.MaxTemp()); d > 1e-5 {
+		t.Errorf("fallback disagrees with direct backend by %g K", d)
+	}
+	// SteadyStateActive and SteadyStateBatch degrade to the plain path on
+	// the fallback rather than failing.
+	if _, err := tiny.SteadyStateActive(pm, []int{0, 6}); err != nil {
+		t.Errorf("SteadyStateActive on fallback: %v", err)
+	}
+	if _, err := tiny.SteadyStateBatch([][]float64{pm}); err != nil {
+		t.Errorf("SteadyStateBatch on fallback: %v", err)
+	}
+}
+
+func TestGridSteadyStateActiveValidatesOnFallback(t *testing.T) {
+	// Caller bugs must surface identically on both backends: the CG
+	// fallback used to skip active-list validation entirely.
+	tiny, err := NewGridModelWithOptions(floorplan.Alpha21364(), DefaultPackageConfig(),
+		12, 12, GridOptions{FillBudget: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.SolverBackend() != "cg-ic0" {
+		t.Fatalf("backend %q, want cg-ic0", tiny.SolverBackend())
+	}
+	pm := make([]float64, tiny.Floorplan().NumBlocks())
+	if _, err := tiny.SteadyStateActive(pm, []int{999}); !errors.Is(err, ErrPowerShape) {
+		t.Errorf("out-of-range active on fallback: err = %v, want ErrPowerShape", err)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/linalg"
 )
 
 // SteadyResult holds the steady-state solution of one power map. All
@@ -38,6 +40,32 @@ func (m *Model) SteadyStateInto(temps, power []float64) error {
 		return err
 	}
 	if err := m.solver.SolveInto(temps, temps); err != nil {
+		return fmt.Errorf("thermal: steady-state solve: %w", err)
+	}
+	for i, dt := range temps {
+		temps[i] = m.cfg.Ambient + dt
+	}
+	return nil
+}
+
+// SteadyStateActiveInto is SteadyStateInto for a power map whose only
+// non-zero entries are the blocks listed in active — the query shape of the
+// validation oracle, where passive cores idle. On the sparse backend the
+// solve routes the right-hand side through the elimination-tree reach of the
+// active silicon nodes (SolveSparseInto); the dense backend ignores the hint.
+// Results are bit-identical to SteadyStateInto on the same power map. Blocks
+// outside active must carry zero power.
+func (m *Model) SteadyStateActiveInto(temps, power []float64, active []int) error {
+	sp, ok := m.solver.(*linalg.SparseCholesky)
+	if !ok {
+		return m.SteadyStateInto(temps, power)
+	}
+	if err := m.expandPowerInto(temps, power); err != nil {
+		return err
+	}
+	// Block i's power lands on silicon node i, so the active list is the
+	// right-hand side's support verbatim.
+	if err := sp.SolveSparseInto(temps, temps, active); err != nil {
 		return fmt.Errorf("thermal: steady-state solve: %w", err)
 	}
 	for i, dt := range temps {
