@@ -1,0 +1,218 @@
+// Command thermserve runs the streaming schedule service: a long-lived HTTP
+// server answering thermal-safe test-schedule requests from warm oracle
+// tiers.
+//
+// Usage:
+//
+//	thermserve -addr :8080 -cachedir /var/cache/thermsched -store-budget 256M
+//	thermserve -smoke
+//
+// Endpoints: POST /v1/schedule, GET /v1/systems, GET /healthz, GET /metrics.
+// With -cachedir every distinct session simulation persists to a
+// content-addressed store shared across restarts; -store-budget bounds that
+// directory with file-level LRU eviction. -smoke starts the server on an
+// ephemeral port, issues one cold and one warm request against it, asserts
+// the warm one was answered from cache, and exits — the CI health check.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheDir    = flag.String("cachedir", "", "persistent oracle store directory (empty: in-memory tiers only)")
+		storeBudget = flag.String("store-budget", "", "store byte budget with optional K/M/G suffix, e.g. 256M; empty: unbounded")
+		workers     = flag.Int("workers", 0, "max concurrent schedule generations (0: GOMAXPROCS)")
+		quiet       = flag.Bool("q", false, "suppress per-request logging")
+		smoke       = flag.Bool("smoke", false, "self-check: serve one cold and one warm request, then exit")
+	)
+	flag.Parse()
+
+	budget, err := parseByteSize(*storeBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermserve:", err)
+		os.Exit(1)
+	}
+	cfg := server.Config{
+		CacheDir:    *cacheDir,
+		StoreBudget: budget,
+		Workers:     *workers,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "thermserve: "+format+"\n", args...)
+		}
+	}
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "thermserve: smoke failed:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(*addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "thermserve:", err)
+		os.Exit(1)
+	}
+}
+
+// parseByteSize reads "262144", "256K", "64M" or "2G" (case-insensitive,
+// optional trailing "B") into bytes; empty means unbounded (0).
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	u := strings.TrimSuffix(strings.ToUpper(s), "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "K"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "K")
+	case strings.HasSuffix(u, "M"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "M")
+	case strings.HasSuffix(u, "G"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "G")
+	}
+	n, err := strconv.ParseInt(u, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid -store-budget %q (want e.g. 262144, 256K, 64M)", s)
+	}
+	return n * mult, nil
+}
+
+// serve runs the service until SIGINT/SIGTERM, then drains connections.
+func serve(addr string, cfg server.Config) error {
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "thermserve: listening on %s\n", addr)
+		errc <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "thermserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// smokeRequest is the Table 1 anchor cell the self-check poses twice.
+var smokeRequest = map[string]any{
+	"workload":   "alpha21364",
+	"tl_celsius": 165,
+	"stcl":       60,
+}
+
+// runSmoke starts the service on an ephemeral port, posts the same request
+// cold then warm, and fails unless the warm reply comes from the cache tiers
+// with an identical schedule.
+func runSmoke(cfg server.Config) error {
+	if cfg.CacheDir == "" {
+		dir, err := os.MkdirTemp("", "thermserve-smoke-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.CacheDir = dir
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	if resp, err := http.Get(base + "/healthz"); err != nil {
+		return fmt.Errorf("healthz: %v", err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	post := func() (*server.ScheduleResponse, error) {
+		body, _ := json.Marshal(smokeRequest)
+		resp, err := http.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e server.ErrorResponse
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return nil, fmt.Errorf("status %d: %s %s", resp.StatusCode, e.Error.Code, e.Error.Message)
+		}
+		var out server.ScheduleResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
+
+	cold, err := post()
+	if err != nil {
+		return fmt.Errorf("cold request: %v", err)
+	}
+	warm, err := post()
+	if err != nil {
+		return fmt.Errorf("warm request: %v", err)
+	}
+	if !warm.Cache.SystemWarm {
+		return fmt.Errorf("warm request rebuilt the system")
+	}
+	hits := warm.Cache.Tier1Hits + warm.Cache.Tier2Hits
+	misses := warm.Cache.Tier1Misses
+	if hits == 0 || float64(hits)/float64(hits+misses) == 0 {
+		return fmt.Errorf("warm request hit rate is zero (hits %d, misses %d)", hits, misses)
+	}
+	if warm.Result.Schedule != cold.Result.Schedule {
+		return fmt.Errorf("warm schedule differs from cold:\ncold:\n%s\nwarm:\n%s",
+			cold.Result.Schedule, warm.Result.Schedule)
+	}
+	fmt.Printf("smoke ok: %s cold %.1f ms → warm %.1f ms, warm tier1 %d/%d, schedule %d sessions\n",
+		cold.Result.Workload, cold.Timing.TotalMS, warm.Timing.TotalMS,
+		warm.Cache.Tier1Hits, warm.Cache.Tier1Hits+warm.Cache.Tier1Misses,
+		len(warm.Result.Sessions))
+	return nil
+}

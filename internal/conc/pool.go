@@ -1,0 +1,45 @@
+package conc
+
+import (
+	"context"
+	"runtime"
+)
+
+// Pool is a long-lived bounded concurrency limiter: at most Workers tasks
+// run at once, and callers queue (FIFO-ish, via channel semantics) for a
+// slot. It is the service-side counterpart of Sweep — where Sweep bounds one
+// finite batch, a Pool bounds an open-ended stream of tasks arriving from
+// concurrent requests, so one shared Pool keeps a server's total simulation
+// parallelism fixed no matter how many requests are in flight.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool builds a pool running at most workers tasks concurrently;
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// InFlight returns the number of tasks currently holding a slot.
+func (p *Pool) InFlight() int { return len(p.sem) }
+
+// Do runs fn once a worker slot is free, blocking until then. If ctx is
+// cancelled while waiting, fn never runs and ctx.Err() is returned; once fn
+// has started it always runs to completion.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	fn()
+	return nil
+}

@@ -1,0 +1,79 @@
+package conc
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolBoundsConcurrency: 32 tasks through a 4-worker pool never observe
+// more than 4 running at once, and all complete.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers, tasks = 4, 32
+	p := NewPool(workers)
+	if p.Workers() != workers {
+		t.Fatalf("Workers() = %d, want %d", p.Workers(), workers)
+	}
+	var cur, peak, done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(context.Background(), func() {
+				n := cur.Add(1)
+				for {
+					pk := peak.Load()
+					if n <= pk || peak.CompareAndSwap(pk, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+				done.Add(1)
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if done.Load() != tasks {
+		t.Fatalf("completed %d tasks, want %d", done.Load(), tasks)
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", pk, workers)
+	}
+}
+
+// TestPoolCancelWhileWaiting: a caller waiting for a slot honours context
+// cancellation and its task never runs.
+func TestPoolCancelWhileWaiting(t *testing.T) {
+	p := NewPool(1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() { close(started); <-block })
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	ran := false
+	go func() { errc <- p.Do(ctx, func() { ran = true }) }()
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("Do under cancelled ctx = %v, want context.Canceled", err)
+	}
+	close(block)
+	if ran {
+		t.Fatal("cancelled task ran")
+	}
+}
+
+// TestPoolDefaultWorkers: workers <= 0 selects GOMAXPROCS (>= 1).
+func TestPoolDefaultWorkers(t *testing.T) {
+	if w := NewPool(0).Workers(); w < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", w)
+	}
+}

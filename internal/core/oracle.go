@@ -121,6 +121,7 @@ type LazyOracle struct {
 	build func() (Oracle, error)
 	inner Oracle
 	err   error
+	built atomic.Bool
 }
 
 // NewLazyOracle wraps a deterministic oracle builder.
@@ -128,9 +129,23 @@ func NewLazyOracle(build func() (Oracle, error)) *LazyOracle {
 	return &LazyOracle{build: build}
 }
 
+// init runs the builder exactly once and records that construction was paid.
+func (l *LazyOracle) init() {
+	l.once.Do(func() {
+		l.inner, l.err = l.build()
+		l.built.Store(true)
+	})
+}
+
+// Built reports whether the inner oracle has been constructed (i.e. at least
+// one query fell through to it). A warm cache sitting above a LazyOracle that
+// answers everything itself leaves Built false — which is how callers assert
+// "this run paid zero factorizations".
+func (l *LazyOracle) Built() bool { return l.built.Load() }
+
 // BlockTemps implements Oracle.
 func (l *LazyOracle) BlockTemps(active []int) ([]float64, error) {
-	l.once.Do(func() { l.inner, l.err = l.build() })
+	l.init()
 	if l.err != nil {
 		return nil, l.err
 	}
@@ -140,7 +155,7 @@ func (l *LazyOracle) BlockTemps(active []int) ([]float64, error) {
 // BlockTempsBatch implements BatchOracle, delegating to the inner oracle's
 // batch path when it has one.
 func (l *LazyOracle) BlockTempsBatch(sessions [][]int) ([][]float64, error) {
-	l.once.Do(func() { l.inner, l.err = l.build() })
+	l.init()
 	if l.err != nil {
 		return nil, l.err
 	}

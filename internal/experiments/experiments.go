@@ -44,6 +44,16 @@ type Env struct {
 	Oracle *core.CachedOracle
 	// StoreCache is the persistent tier under Oracle, nil without a store.
 	StoreCache *oraclestore.SystemCache
+	// Lazy is the deferred grid-oracle builder, nil when the validation
+	// oracle is the (eagerly built) block simulator. Lazy.Built() reports
+	// whether any query actually paid the grid factorization — false on a
+	// fully warm run.
+	Lazy *core.LazyOracle
+	// StoreDesc is the content-addressable identity of this Env's validation
+	// oracle — the same inputs the persistent store hashes into a file name.
+	// It is populated whether or not a store is attached, so callers (the
+	// schedule service) can key live environments by desc.Key().
+	StoreDesc oraclestore.SystemDesc
 	// GridRes is the validation-oracle grid resolution, 0 for block-model.
 	GridRes int
 	// Parallel fans experiment sweeps across GOMAXPROCS goroutines. Serial
@@ -94,44 +104,41 @@ func NewEnvWithOptions(spec *testspec.Spec, cfg thermal.PackageConfig, opts EnvO
 	// The inner (tier-3) oracle: the block simulator, or a lazily built
 	// grid-resolution simulator. Laziness matters with a store: a warm run
 	// that answers everything from disk never factors the grid at all.
-	build := func() (core.Oracle, error) { return sim, nil }
+	// Either way the Env carries the oracle's content-addressable identity,
+	// so services can key live environments exactly like store files.
+	env.StoreDesc = oraclestore.DescForModel(m, spec.Profile())
+	var inner core.Oracle = sim
 	if opts.GridRes > 0 {
 		n := opts.GridRes
-		build = func() (core.Oracle, error) {
+		// The Env builds its grid oracle with default solver options; the
+		// store key is derived from the same (canonical) options, so a
+		// future non-default wiring cannot silently share this file.
+		env.StoreDesc = oraclestore.DescForGrid(spec.Floorplan(), cfg, spec.Profile(),
+			n, n, thermal.GridOptions{})
+		// Defer the grid factorization to the first query even without a
+		// store, so a fleet's env-construction loop stays cheap and the
+		// factorizations happen inside the pooled cell tasks.
+		env.Lazy = core.NewLazyOracle(func() (core.Oracle, error) {
 			gm, err := thermal.NewGridModel(spec.Floorplan(), cfg, n, n)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: building %d×%d grid oracle: %w", n, n, err)
 			}
 			return core.NewGridOracle(gm, spec.Profile()), nil
-		}
+		})
+		inner = env.Lazy
 	}
 
 	if opts.Store == nil {
-		if opts.GridRes > 0 {
-			// Defer the grid factorization to the first query even without
-			// a store, so a fleet's env-construction loop stays cheap and
-			// the factorizations happen inside the pooled cell tasks.
-			env.Oracle = core.NewCachedOracle(core.NewLazyOracle(build))
-		} else {
-			env.Oracle = core.NewCachedOracle(sim)
-		}
+		env.Oracle = core.NewCachedOracle(inner)
 		return env, nil
 	}
 
-	desc := oraclestore.DescForModel(m, spec.Profile())
-	if opts.GridRes > 0 {
-		// The Env builds its grid oracle with default solver options; the
-		// store key is derived from the same (canonical) options, so a
-		// future non-default wiring cannot silently share this file.
-		desc = oraclestore.DescForGrid(spec.Floorplan(), cfg, spec.Profile(),
-			opts.GridRes, opts.GridRes, thermal.GridOptions{})
-	}
-	sc, err := opts.Store.System(desc)
+	sc, err := opts.Store.System(env.StoreDesc)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: opening oracle store: %w", err)
 	}
 	env.StoreCache = sc
-	env.Oracle = core.NewCachedOracle(sc.WrapLazy(build))
+	env.Oracle = core.NewCachedOracle(sc.Wrap(inner))
 	return env, nil
 }
 

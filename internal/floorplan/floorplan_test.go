@@ -272,6 +272,28 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFormatRoundTripBitExact: Format uses shortest round-trip float
+// rendering, so parsing the text reproduces every rectangle bit for bit —
+// the invariant that keeps a floorplan's content address stable when it
+// travels as ".flp" text (e.g. through the schedule service's JSON API).
+func TestFormatRoundTripBitExact(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		fp, err := Random(RandomOptions{Blocks: 17, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseString(Format(fp), fp.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range fp.Blocks() {
+			if got := back.Block(i).Rect; got != b.Rect {
+				t.Fatalf("seed %d block %d: %v round-tripped to %v", seed, i, b.Rect, got)
+			}
+		}
+	}
+}
+
 func TestParseAcceptsCommentsAndExtras(t *testing.T) {
 	src := `
 # a comment

@@ -63,14 +63,17 @@ func ParseString(s, name string) (*Floorplan, error) {
 
 // Write renders the floorplan in the ".flp" format accepted by Parse. Blocks
 // appear in declaration order; the header records name, block count and die
-// size as comments.
+// size as comments. Coordinates use Go's shortest round-trip formatting, so
+// Parse(Format(fp)) reproduces every rectangle bit-exactly — which keeps the
+// content address of a floorplan stable across a text round trip (the
+// schedule service ships floorplans as ".flp" text and relies on this).
 func Write(w io.Writer, fp *Floorplan) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# floorplan: %s\n", fp.Name())
 	fmt.Fprintf(bw, "# blocks: %d, die: %g x %g m\n", fp.NumBlocks(), fp.Die().W, fp.Die().H)
 	fmt.Fprintf(bw, "# format: <name> <width> <height> <left-x> <bottom-y>\n")
 	for _, b := range fp.Blocks() {
-		fmt.Fprintf(bw, "%s\t%.9g\t%.9g\t%.9g\t%.9g\n", b.Name, b.Rect.W, b.Rect.H, b.Rect.X, b.Rect.Y)
+		fmt.Fprintf(bw, "%s\t%g\t%g\t%g\t%g\n", b.Name, b.Rect.W, b.Rect.H, b.Rect.X, b.Rect.Y)
 	}
 	return bw.Flush()
 }

@@ -1,0 +1,18 @@
+//go:build linux
+
+package oraclestore
+
+import (
+	"io/fs"
+	"syscall"
+	"time"
+)
+
+// atime extracts the access time from a unix stat, when available.
+func atime(fi fs.FileInfo) (time.Time, bool) {
+	st, ok := fi.Sys().(*syscall.Stat_t)
+	if !ok {
+		return time.Time{}, false
+	}
+	return time.Unix(st.Atim.Sec, st.Atim.Nsec), true
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package oraclestore
+
+import (
+	"io/fs"
+	"time"
+)
+
+// atime is not portably available off linux (the Stat_t field names differ
+// per OS); the LRU clock falls back to mtime plus the in-process access
+// times of open systems.
+func atime(fs.FileInfo) (time.Time, bool) { return time.Time{}, false }

@@ -55,6 +55,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/floorplan"
 	"repro/internal/power"
@@ -98,6 +99,20 @@ func DescForModel(m *thermal.Model, prof *power.Profile) SystemDesc {
 		Package:   m.Config(),
 		Profile:   prof,
 		Backend:   m.SolverBackend(),
+	}
+}
+
+// DescForBlockModel describes the block-model oracle of fp under cfg with
+// prof without building the model — the backend is a pure function of the
+// block count (thermal.SolverBackendForBlocks), so the content address is
+// available before the model's factorization is paid. Identical to
+// DescForModel over the built model.
+func DescForBlockModel(fp *floorplan.Floorplan, cfg thermal.PackageConfig, prof *power.Profile) SystemDesc {
+	return SystemDesc{
+		Floorplan: fp,
+		Package:   cfg,
+		Profile:   prof,
+		Backend:   thermal.SolverBackendForBlocks(fp.NumBlocks()),
 	}
 }
 
@@ -196,7 +211,19 @@ type Store struct {
 
 	mu      sync.Mutex
 	systems map[[32]byte]*SystemCache
+	// Lifetime eviction counters (see Evict).
+	evictedFiles int
+	evictedBytes int64
+	// appended totals the record bytes written through this Store's system
+	// caches — a cheap growth signal, so budget enforcers can skip the
+	// directory walk when nothing new has been persisted.
+	appended atomic.Int64
 }
+
+// AppendedBytes returns the total record bytes appended through this Store
+// since it was opened. It only ever grows; a caller that saw value v and
+// enforced its budget then may skip re-scanning until the value changes.
+func (s *Store) AppendedBytes() int64 { return s.appended.Load() }
 
 // Open creates (if needed) and opens a store rooted at dir.
 func Open(dir string) (*Store, error) {
@@ -229,7 +256,7 @@ func (s *Store) System(desc SystemDesc) (*SystemCache, error) {
 	}
 	hex := fmt.Sprintf("%x", key)
 	path := filepath.Join(s.dir, hex[:2], hex+".tsoc")
-	c, err := openSystemCache(path, key, desc.Floorplan.NumBlocks())
+	c, err := openSystemCache(path, key, desc.Floorplan.NumBlocks(), &s.appended)
 	if err != nil {
 		return nil, err
 	}

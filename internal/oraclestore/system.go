@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -31,18 +32,27 @@ type SystemCache struct {
 	key       [32]byte
 	numBlocks int
 
-	mu  sync.Mutex
-	f   *os.File
-	mem map[string][]float64
+	mu      sync.Mutex
+	f       *os.File
+	mem     map[string][]float64
+	evicted bool
 
 	hits, misses atomic.Int64
+	appended     atomic.Int64
+	lastUse      atomic.Int64 // unix nanos of the most recent open/Get/Put
 	loaded       int
+	dupes        int   // duplicate records deduped at load
 	recovered    int64 // corrupt tail bytes truncated at load
+
+	// appendedBytes, when non-nil, accumulates written record bytes into the
+	// owning Store's growth counter (Store.AppendedBytes).
+	appendedBytes *atomic.Int64
 }
 
 // openSystemCache opens or creates the record file and loads every valid
-// record, truncating any torn or corrupt tail.
-func openSystemCache(path string, key [32]byte, numBlocks int) (*SystemCache, error) {
+// record, truncating any torn or corrupt tail. byteCounter (optional)
+// receives the size of every appended record.
+func openSystemCache(path string, key [32]byte, numBlocks int, byteCounter *atomic.Int64) (*SystemCache, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
@@ -65,18 +75,25 @@ func openSystemCache(path string, key [32]byte, numBlocks int) (*SystemCache, er
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	c := &SystemCache{
-		path:      path,
-		key:       key,
-		numBlocks: numBlocks,
-		f:         f,
-		mem:       make(map[string][]float64),
+		path:          path,
+		key:           key,
+		numBlocks:     numBlocks,
+		f:             f,
+		mem:           make(map[string][]float64),
+		appendedBytes: byteCounter,
 	}
 	if err := c.load(); err != nil {
 		f.Close()
 		return nil, err
 	}
+	c.touch()
 	return c, nil
 }
+
+// touch records an access for the store's LRU eviction clock. The in-process
+// clock dominates filesystem timestamps (which noatime mounts freeze), so a
+// system a live handle keeps answering from never looks cold.
+func (c *SystemCache) touch() { c.lastUse.Store(time.Now().UnixNano()) }
 
 // load reads the header and every record, resetting an invalid header and
 // truncating at the first invalid record. On return the file offset sits at
@@ -123,6 +140,12 @@ func (c *SystemCache) load() error {
 				}
 			}
 			break
+		}
+		if _, ok := c.mem[rec.key]; ok {
+			// Racing handles can append the same answer twice (see the
+			// package doc); count the dedup so tests can assert a
+			// single-writer run produced none.
+			c.dupes++
 		}
 		c.mem[rec.key] = rec.temps
 		good += int64(n)
@@ -272,6 +295,7 @@ func (c *SystemCache) Get(active []int) ([]float64, bool) {
 	c.mu.Lock()
 	temps, ok := c.mem[key]
 	c.mu.Unlock()
+	c.touch()
 	if !ok {
 		c.misses.Add(1)
 		return nil, false
@@ -294,9 +318,13 @@ func (c *SystemCache) Put(active []int, temps []float64) error {
 	if err != nil {
 		return err
 	}
+	c.touch()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.f == nil {
+		if c.evicted {
+			return fmt.Errorf("%w: cache was evicted", ErrStore)
+		}
 		return fmt.Errorf("%w: cache is closed", ErrStore)
 	}
 	if _, ok := c.mem[key]; ok {
@@ -313,6 +341,10 @@ func (c *SystemCache) Put(active []int, temps []float64) error {
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	if _, err := c.f.Write(buf); err != nil {
 		return fmt.Errorf("%w: appending record: %v", ErrStore, err)
+	}
+	c.appended.Add(1)
+	if c.appendedBytes != nil {
+		c.appendedBytes.Add(int64(len(buf)))
 	}
 	kept := make([]float64, len(temps))
 	copy(kept, temps)
@@ -331,8 +363,69 @@ func (c *SystemCache) Len() int {
 // warm-start count.
 func (c *SystemCache) Loaded() int { return c.loaded }
 
+// Duplicates returns how many records the opening load discarded because an
+// earlier record already carried the same active set. A single-writer history
+// produces zero; racing handles (see the package doc) can produce more.
+func (c *SystemCache) Duplicates() int { return c.dupes }
+
+// Appended returns how many records this handle has written to disk.
+func (c *SystemCache) Appended() int64 { return c.appended.Load() }
+
 // Recovered returns how many corrupt or torn bytes were discarded at load.
 func (c *SystemCache) Recovered() int64 { return c.recovered }
+
+// LastUse returns the time of the most recent open, Get or Put through this
+// handle — the in-process half of the store's LRU clock.
+func (c *SystemCache) LastUse() time.Time {
+	return time.Unix(0, c.lastUse.Load())
+}
+
+// Key returns the system's content address.
+func (c *SystemCache) Key() [32]byte { return c.key }
+
+// SizeBytes returns the record file's current size, 0 once evicted.
+func (c *SystemCache) SizeBytes() int64 {
+	st, err := os.Stat(c.path)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// Evicted reports whether Evict removed this system's file.
+func (c *SystemCache) Evicted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
+// Evict closes the record file, deletes it from disk and drops the in-memory
+// mirror, reclaiming both the disk budget and the heap. The handle stays
+// valid but cold: Get misses (so an oracle above re-simulates — correctly,
+// the cache held only derived data) and Put reports an error, which the
+// store-oracle layer already treats as a non-fatal spill failure. Opening the
+// system again through a Store creates a fresh file.
+func (c *SystemCache) Evict() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.evicted {
+		return nil
+	}
+	c.evicted = true
+	var err error
+	if c.f != nil {
+		err = c.f.Close()
+		c.f = nil
+	}
+	if rerr := os.Remove(c.path); rerr != nil && !os.IsNotExist(rerr) && err == nil {
+		err = rerr
+	}
+	c.mem = make(map[string][]float64)
+	if err != nil {
+		return fmt.Errorf("%w: evicting %s: %v", ErrStore, c.path, err)
+	}
+	return nil
+}
 
 // Stats returns the store-tier (hits, misses) counters: hits answered from
 // disk-backed memory, misses that fell through to the inner oracle.

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds — spanning the
+// microsecond warm-hit regime through multi-second cold grid factorizations.
+var latencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metrics aggregates request counts and latencies per (path, status) for the
+// /metrics endpoint. It is deliberately dependency-free: the exposition is
+// the Prometheus text format, rendered by hand.
+type metrics struct {
+	mu sync.Mutex
+	// requests[path][status] = count
+	requests map[string]map[int]int64
+	// hist[path] = per-bucket counts (+1 overflow slot), sum and count
+	hist map[string]*histogram
+}
+
+type histogram struct {
+	buckets []int64 // len(latencyBuckets)+1; last is +Inf
+	sum     float64
+	count   int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[int]int64),
+		hist:     make(map[string]*histogram),
+	}
+}
+
+// observe records one served request.
+func (m *metrics) observe(path string, status int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus := m.requests[path]
+	if byStatus == nil {
+		byStatus = make(map[int]int64)
+		m.requests[path] = byStatus
+	}
+	byStatus[status]++
+	h := m.hist[path]
+	if h == nil {
+		h = &histogram{buckets: make([]int64, len(latencyBuckets)+1)}
+		m.hist[path] = h
+	}
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.buckets[i]++
+	h.sum += sec
+	h.count++
+}
+
+// tierCounters is the cache-tier snapshot the server injects at render time.
+type tierCounters struct {
+	Tier1Hits, Tier1Misses int64
+	Tier2Hits, Tier2Misses int64
+	SystemsLive            int
+	StoreFiles             int
+	StoreBytes             int64
+	StoreEvictedFiles      int
+	StoreEvictedBytes      int64
+}
+
+// render emits the Prometheus text exposition.
+func (m *metrics) render(tc tierCounters) string {
+	var sb strings.Builder
+	m.mu.Lock()
+	paths := make([]string, 0, len(m.requests))
+	for p := range m.requests {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	sb.WriteString("# HELP thermserve_requests_total Requests served, by path and status code.\n")
+	sb.WriteString("# TYPE thermserve_requests_total counter\n")
+	for _, p := range paths {
+		codes := make([]int, 0, len(m.requests[p]))
+		for c := range m.requests[p] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&sb, "thermserve_requests_total{path=%q,code=\"%d\"} %d\n", p, c, m.requests[p][c])
+		}
+	}
+
+	sb.WriteString("# HELP thermserve_request_seconds Request latency histogram, by path.\n")
+	sb.WriteString("# TYPE thermserve_request_seconds histogram\n")
+	for _, p := range paths {
+		h := m.hist[p]
+		var cum int64
+		for i, le := range latencyBuckets {
+			cum += h.buckets[i]
+			fmt.Fprintf(&sb, "thermserve_request_seconds_bucket{path=%q,le=\"%g\"} %d\n", p, le, cum)
+		}
+		cum += h.buckets[len(latencyBuckets)]
+		fmt.Fprintf(&sb, "thermserve_request_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", p, cum)
+		fmt.Fprintf(&sb, "thermserve_request_seconds_sum{path=%q} %g\n", p, h.sum)
+		fmt.Fprintf(&sb, "thermserve_request_seconds_count{path=%q} %d\n", p, h.count)
+	}
+	m.mu.Unlock()
+
+	hitRate := func(h, miss int64) float64 {
+		if h+miss == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+miss)
+	}
+	sb.WriteString("# HELP thermserve_tier_hits_total Oracle cache hits by tier (1 = in-memory memo, 2 = persistent store).\n")
+	sb.WriteString("# TYPE thermserve_tier_hits_total counter\n")
+	fmt.Fprintf(&sb, "thermserve_tier_hits_total{tier=\"1\"} %d\n", tc.Tier1Hits)
+	fmt.Fprintf(&sb, "thermserve_tier_hits_total{tier=\"2\"} %d\n", tc.Tier2Hits)
+	sb.WriteString("# HELP thermserve_tier_misses_total Oracle cache misses by tier.\n")
+	sb.WriteString("# TYPE thermserve_tier_misses_total counter\n")
+	fmt.Fprintf(&sb, "thermserve_tier_misses_total{tier=\"1\"} %d\n", tc.Tier1Misses)
+	fmt.Fprintf(&sb, "thermserve_tier_misses_total{tier=\"2\"} %d\n", tc.Tier2Misses)
+	sb.WriteString("# HELP thermserve_tier_hit_rate Hit fraction by tier since start.\n")
+	sb.WriteString("# TYPE thermserve_tier_hit_rate gauge\n")
+	fmt.Fprintf(&sb, "thermserve_tier_hit_rate{tier=\"1\"} %g\n", hitRate(tc.Tier1Hits, tc.Tier1Misses))
+	fmt.Fprintf(&sb, "thermserve_tier_hit_rate{tier=\"2\"} %g\n", hitRate(tc.Tier2Hits, tc.Tier2Misses))
+
+	sb.WriteString("# HELP thermserve_systems_live Warm systems held in memory.\n")
+	sb.WriteString("# TYPE thermserve_systems_live gauge\n")
+	fmt.Fprintf(&sb, "thermserve_systems_live %d\n", tc.SystemsLive)
+	sb.WriteString("# HELP thermserve_store_files Record files in the persistent store.\n")
+	sb.WriteString("# TYPE thermserve_store_files gauge\n")
+	fmt.Fprintf(&sb, "thermserve_store_files %d\n", tc.StoreFiles)
+	sb.WriteString("# HELP thermserve_store_bytes Bytes used by the persistent store.\n")
+	sb.WriteString("# TYPE thermserve_store_bytes gauge\n")
+	fmt.Fprintf(&sb, "thermserve_store_bytes %d\n", tc.StoreBytes)
+	sb.WriteString("# HELP thermserve_store_evicted_files_total Record files evicted since start.\n")
+	sb.WriteString("# TYPE thermserve_store_evicted_files_total counter\n")
+	fmt.Fprintf(&sb, "thermserve_store_evicted_files_total %d\n", tc.StoreEvictedFiles)
+	sb.WriteString("# HELP thermserve_store_evicted_bytes_total Bytes evicted since start.\n")
+	sb.WriteString("# TYPE thermserve_store_evicted_bytes_total counter\n")
+	fmt.Fprintf(&sb, "thermserve_store_evicted_bytes_total %d\n", tc.StoreEvictedBytes)
+	return sb.String()
+}

@@ -1,0 +1,500 @@
+// Package server is the streaming schedule service: a long-lived HTTP/JSON
+// front end over the scheduling engine and its warm oracle tiers. Each
+// distinct thermal system a request names becomes a live environment — block
+// and session models plus the two-tier (in-memory memo + persistent
+// content-addressed store) validation-oracle cache — keyed by the
+// oraclestore content address, so repeated and concurrent requests for the
+// same system answer from warm state instead of re-simulating. One bounded
+// worker pool (internal/conc.Pool) is shared across all requests, keeping
+// total simulation parallelism fixed under concurrent load, and the
+// persistent store is held to a byte budget by file-level LRU eviction,
+// which also drops the corresponding live systems.
+//
+// Endpoints:
+//
+//	POST /v1/schedule  scheduling problem in, thermal-safe schedule out
+//	GET  /v1/systems   warm systems and store statistics
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text: requests, latency, tier hit rates
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/oraclestore"
+	"repro/internal/schedule"
+	"repro/internal/testspec"
+	"repro/internal/thermal"
+)
+
+// maxBodyBytes bounds request bodies; floorplan + spec texts are small.
+const maxBodyBytes = 4 << 20
+
+// Config parameterises a Server.
+type Config struct {
+	// CacheDir roots the persistent oracle store; empty serves from memory
+	// only.
+	CacheDir string
+	// StoreBudget caps the store directory in bytes via file-level LRU
+	// eviction after each request; 0 means unbounded. Ignored without
+	// CacheDir.
+	StoreBudget int64
+	// Workers bounds concurrent schedule generations; 0 → GOMAXPROCS.
+	Workers int
+	// Logf receives one line per served request; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server answers schedule requests from warm oracle tiers. Create with New,
+// mount Handler on an http.Server, Close when done.
+type Server struct {
+	cfg   Config
+	store *oraclestore.Store
+	pool  *conc.Pool
+	met   *metrics
+
+	mu sync.Mutex
+	// systems keys live environments by system key: the oraclestore content
+	// address of the validation oracle, extended with the per-core test
+	// lengths (two specs may share oracle answers — same physics — while
+	// needing distinct schedules).
+	systems map[[32]byte]*systemEntry
+
+	// evictSeen is the Store.AppendedBytes value at the last budget check:
+	// when nothing new has been persisted since, the post-request eviction
+	// skips its directory walk, keeping warm requests O(1).
+	evictSeen atomic.Int64
+}
+
+// systemEntry is one live system. The environment is built at most once, by
+// the first request to need it; concurrent cold requests for the same system
+// wait on the same build. env and err are written under the server mu (the
+// sync.Once alone would not order them against the map iterations of
+// /v1/systems, /metrics and maybeEvict, which run while a build is still in
+// flight).
+type systemEntry struct {
+	once sync.Once
+	bld  func() (*experiments.Env, error)
+	env  *experiments.Env // guarded by Server.mu for cross-entry readers
+	err  error            // guarded by Server.mu for cross-entry readers
+
+	oracleKey [32]byte
+	name      string
+	cores     int
+	gridRes   int
+	lastUse   time.Time // guarded by the server mu
+}
+
+// New builds a Server, opening the persistent store when configured.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:     cfg,
+		pool:    conc.NewPool(cfg.Workers),
+		met:     newMetrics(),
+		systems: make(map[[32]byte]*systemEntry),
+	}
+	if cfg.CacheDir != "" {
+		store, err := oraclestore.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening oracle store: %w", err)
+		}
+		s.store = store
+		if cfg.StoreBudget > 0 {
+			// Enforce the budget against whatever a previous process left.
+			if _, err := store.Evict(cfg.StoreBudget); err != nil {
+				store.Close()
+				return nil, fmt.Errorf("server: initial eviction: %w", err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Close releases the persistent store. In-memory systems keep answering if
+// the handler is still mounted, but nothing persists afterwards.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule", s.instrument("/v1/schedule", http.MethodPost, s.handleSchedule))
+	mux.HandleFunc("/v1/systems", s.instrument("/v1/systems", http.MethodGet, s.handleSystems))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", http.MethodGet, s.handleMetrics))
+	return mux
+}
+
+// statusWriter records the status code for metrics and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument enforces the method, records metrics and logs one line per
+// request.
+func (s *Server) instrument(path, method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(sw, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("%s requires %s", path, method))
+		} else {
+			h(sw, r)
+		}
+		d := time.Since(start)
+		s.met.observe(path, sw.status, d)
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("%s %s %d %s", r.Method, r.URL.Path, sw.status, d.Round(time.Microsecond))
+		}
+	}
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding our own response types cannot fail; a broken connection is
+	// the client's problem.
+	_ = enc.Encode(v)
+}
+
+// writeError writes the structured error body.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// systemKeys derives the server map key and the oraclestore content address
+// for a resolved request. The map key extends the oracle key with the
+// per-core test lengths: oracle answers depend only on the physics, but the
+// schedule (and so the live environment's spec) also depends on how long
+// each core tests.
+func systemKeys(spec *testspec.Spec, cfg thermal.PackageConfig, gridRes int) (mapKey, oracleKey [32]byte, err error) {
+	var desc oraclestore.SystemDesc
+	if gridRes > 0 {
+		desc = oraclestore.DescForGrid(spec.Floorplan(), cfg, spec.Profile(),
+			gridRes, gridRes, thermal.GridOptions{})
+	} else {
+		desc = oraclestore.DescForBlockModel(spec.Floorplan(), cfg, spec.Profile())
+	}
+	oracleKey, err = desc.Key()
+	if err != nil {
+		return mapKey, oracleKey, err
+	}
+	h := sha256.New()
+	h.Write(oracleKey[:])
+	var buf [8]byte
+	for i := 0; i < spec.NumCores(); i++ {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(spec.Test(i).Length))
+		h.Write(buf[:])
+	}
+	copy(mapKey[:], h.Sum(nil))
+	return mapKey, oracleKey, nil
+}
+
+// system returns the live entry for a key, creating a cold one if needed;
+// warm reports whether it already existed.
+func (s *Server) system(mapKey, oracleKey [32]byte, spec *testspec.Spec, pkg thermal.PackageConfig, gridRes int) (e *systemEntry, warm bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.systems[mapKey]; ok {
+		e.lastUse = time.Now()
+		return e, true
+	}
+	e = &systemEntry{
+		oracleKey: oracleKey,
+		name:      spec.Name(),
+		cores:     spec.NumCores(),
+		gridRes:   gridRes,
+		lastUse:   time.Now(),
+	}
+	e.bld = func() (*experiments.Env, error) {
+		return experiments.NewEnvWithOptions(spec, pkg,
+			experiments.EnvOptions{Store: s.store, GridRes: gridRes})
+	}
+	s.systems[mapKey] = e
+	return e, false
+}
+
+// dropSystem removes a failed or evicted entry so the next request rebuilds.
+func (s *Server) dropSystem(mapKey [32]byte, e *systemEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.systems[mapKey]; ok && cur == e {
+		delete(s.systems, mapKey)
+	}
+}
+
+// maybeEvict enforces the store budget and drops live systems whose record
+// files were evicted — the system-map half of the eviction policy. Fully
+// warm requests persist nothing, so the growth check makes this a single
+// atomic load on the hot path; the directory walk only runs after actual
+// appends (a racing append can defer one walk to the next appending
+// request, which still bounds the store).
+func (s *Server) maybeEvict() {
+	if s.store == nil || s.cfg.StoreBudget <= 0 {
+		return
+	}
+	grown := s.store.AppendedBytes()
+	if grown == s.evictSeen.Load() {
+		return
+	}
+	s.evictSeen.Store(grown)
+	evicted, err := s.store.Evict(s.cfg.StoreBudget)
+	if err != nil && s.cfg.Logf != nil {
+		s.cfg.Logf("store eviction: %v", err)
+	}
+	if len(evicted) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, e := range s.systems {
+		if e.env != nil && e.env.StoreCache != nil && e.env.StoreCache.Evicted() {
+			delete(s.systems, k)
+		}
+	}
+}
+
+// handleSchedule serves POST /v1/schedule.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req ScheduleRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request body: %v", err))
+		return
+	}
+	spec, err := req.resolveSpec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_workload", err.Error())
+		return
+	}
+	genCfg, err := req.scheduleConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_config", err.Error())
+		return
+	}
+	pkg := req.Package.packageConfig()
+	if err := pkg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_package", err.Error())
+		return
+	}
+	mapKey, oracleKey, err := systemKeys(spec, pkg, req.GridRes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_workload", err.Error())
+		return
+	}
+
+	entry, warm := s.system(mapKey, oracleKey, spec, pkg, req.GridRes)
+	entry.once.Do(func() {
+		env, err := entry.bld()
+		s.mu.Lock()
+		entry.env, entry.err = env, err
+		s.mu.Unlock()
+	})
+	// Once.Do orders this goroutine after the build, but read through the mu
+	// anyway so every access to entry.env/err uses one discipline.
+	s.mu.Lock()
+	env, buildErr := entry.env, entry.err
+	s.mu.Unlock()
+	if buildErr != nil {
+		s.dropSystem(mapKey, entry)
+		writeError(w, http.StatusInternalServerError, "system_build_failed", buildErr.Error())
+		return
+	}
+
+	h0, m0 := env.Oracle.Stats()
+	var sh0, sm0 int64
+	if env.StoreCache != nil {
+		sh0, sm0 = env.StoreCache.Stats()
+	}
+
+	var (
+		res      *core.Result
+		genErr   error
+		queueDur time.Duration
+		genDur   time.Duration
+	)
+	queued := time.Now()
+	if err := s.pool.Do(r.Context(), func() {
+		queueDur = time.Since(queued)
+		t0 := time.Now()
+		res, genErr = env.Generate(genCfg)
+		genDur = time.Since(t0)
+	}); err != nil {
+		// The client gave up while queued; 503 tells retrying proxies the
+		// pool was saturated.
+		writeError(w, http.StatusServiceUnavailable, "canceled",
+			fmt.Sprintf("request canceled while queued: %v", err))
+		return
+	}
+	s.maybeEvict()
+	if genErr != nil {
+		var ma *core.MaxAttemptsError
+		code, status := "schedule_failed", http.StatusUnprocessableEntity
+		if errors.As(genErr, &ma) {
+			code = "max_attempts"
+		}
+		writeError(w, status, code, genErr.Error())
+		return
+	}
+
+	h1, m1 := env.Oracle.Stats()
+	var sh1, sm1 int64
+	if env.StoreCache != nil {
+		sh1, sm1 = env.StoreCache.Stats()
+	}
+	result := ScheduleResult{
+		Workload:         spec.Name(),
+		Cores:            spec.NumCores(),
+		TL:               req.TL,
+		STCL:             req.STCL,
+		EffectiveTL:      res.EffectiveTL,
+		GridRes:          req.GridRes,
+		Length:           res.Length,
+		Effort:           res.Effort,
+		MaxTemp:          res.MaxTemp,
+		Attempts:         res.Attempts,
+		Violations:       res.Violations,
+		ForcedSingletons: res.ForcedSingletons,
+		Schedule:         schedule.Format(res.Schedule, spec),
+		SystemKey:        fmt.Sprintf("%x", oracleKey),
+	}
+	for _, sess := range res.Schedule.Sessions() {
+		result.Sessions = append(result.Sessions, sess.Names(spec))
+	}
+	resp := ScheduleResponse{
+		Result: result,
+		Cache: CacheInfo{
+			SystemWarm:     warm,
+			Tier1Hits:      h1 - h0,
+			Tier1Misses:    m1 - m0,
+			Tier2Hits:      sh1 - sh0,
+			Tier2Misses:    sm1 - sm0,
+			GridFactorized: env.Lazy != nil && env.Lazy.Built(),
+		},
+		Timing: TimingInfo{
+			QueueMS:    float64(queueDur) / float64(time.Millisecond),
+			GenerateMS: float64(genDur) / float64(time.Millisecond),
+			TotalMS:    float64(time.Since(start)) / float64(time.Millisecond),
+		},
+	}
+	if env.StoreCache != nil {
+		resp.Cache.StoreLoaded = env.StoreCache.Loaded()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSystems serves GET /v1/systems.
+func (s *Server) handleSystems(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	infos := make([]SystemInfo, 0, len(s.systems))
+	for _, e := range s.systems {
+		if e.env == nil {
+			continue // still building
+		}
+		info := SystemInfo{
+			Key:            fmt.Sprintf("%x", e.oracleKey),
+			Workload:       e.name,
+			Cores:          e.cores,
+			GridRes:        e.gridRes,
+			GridFactorized: e.env.Lazy != nil && e.env.Lazy.Built(),
+			LastUsed:       e.lastUse.UTC().Format(time.RFC3339Nano),
+		}
+		info.Tier1Hits, info.Tier1Misses = e.env.Oracle.Stats()
+		if sc := e.env.StoreCache; sc != nil {
+			info.Tier2Hits, info.Tier2Misses = sc.Stats()
+			info.StoreRecords = sc.Len()
+			info.StoreBytes = sc.SizeBytes()
+		}
+		infos = append(infos, info)
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Key < infos[j].Key })
+
+	resp := SystemsResponse{Systems: infos}
+	if s.store != nil {
+		st, err := s.store.Stats()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "store_stats_failed", err.Error())
+			return
+		}
+		resp.Store = &StoreInfo{
+			Dir:          s.cfg.CacheDir,
+			Files:        st.Files,
+			Bytes:        st.Bytes,
+			BudgetBytes:  s.cfg.StoreBudget,
+			EvictedFiles: st.EvictedFiles,
+			EvictedBytes: st.EvictedBytes,
+			Hits:         st.Hits,
+			Misses:       st.Misses,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var tc tierCounters
+	s.mu.Lock()
+	tc.SystemsLive = len(s.systems)
+	for _, e := range s.systems {
+		if e.env == nil {
+			continue
+		}
+		h, m := e.env.Oracle.Stats()
+		tc.Tier1Hits += h
+		tc.Tier1Misses += m
+		if sc := e.env.StoreCache; sc != nil {
+			sh, sm := sc.Stats()
+			tc.Tier2Hits += sh
+			tc.Tier2Misses += sm
+		}
+	}
+	s.mu.Unlock()
+	if s.store != nil {
+		if st, err := s.store.Stats(); err == nil {
+			tc.StoreFiles = st.Files
+			tc.StoreBytes = st.Bytes
+			tc.StoreEvictedFiles = st.EvictedFiles
+			tc.StoreEvictedBytes = st.EvictedBytes
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, s.met.render(tc))
+}

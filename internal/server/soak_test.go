@@ -1,0 +1,179 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/oraclestore"
+	"repro/internal/testspec"
+	"repro/internal/thermal"
+)
+
+// soakScenario is one workload of the concurrency soak: the request body the
+// clients post and the locally parsed spec the post-soak store audit needs.
+type soakScenario struct {
+	name string
+	body map[string]any
+	spec *testspec.Spec
+}
+
+// randomScenario renders a seeded random floorplan into the request text
+// formats, so the service parses exactly what the audit parsed.
+func randomScenario(t *testing.T, cores int, seed int64) soakScenario {
+	t.Helper()
+	fp, err := floorplan.Random(floorplan.RandomOptions{Blocks: cores, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec strings.Builder
+	for i := 0; i < fp.NumBlocks(); i++ {
+		// Modest test powers keep every scenario schedulable at TL 165.
+		fmt.Fprintf(&spec, "%s 2.0 6.0 1.0\n", fp.Block(i).Name)
+	}
+	name := fmt.Sprintf("random-%dc-seed%d", cores, seed)
+	parsed, err := testspec.Parse(strings.NewReader(spec.String()), name, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return soakScenario{
+		name: name,
+		body: map[string]any{
+			"name":       name,
+			"floorplan":  floorplan.Format(fp),
+			"test_spec":  spec.String(),
+			"tl_celsius": 165,
+			"stcl":       60,
+		},
+		spec: parsed,
+	}
+}
+
+// TestServiceConcurrencySoak hammers /v1/schedule with 32 goroutines across
+// 4 floorplans (run under -race by the standard test invocation): every
+// response for a scenario must carry the identical schedule, and the
+// persistent store must come out with zero duplicate appends and zero torn
+// bytes.
+func TestServiceConcurrencySoak(t *testing.T) {
+	dir := t.TempDir()
+	srv, hs := newTestServer(t, Config{CacheDir: dir, Workers: 8})
+
+	scenarios := []soakScenario{
+		{name: "alpha21364", body: table1Request(), spec: testspec.Alpha21364()},
+		{name: "figure1", body: map[string]any{"workload": "figure1", "tl_celsius": 165, "stcl": 60}, spec: testspec.Figure1()},
+		randomScenario(t, 12, 7),
+		randomScenario(t, 20, 11),
+	}
+
+	const clients = 32
+	schedules := make([][]string, len(scenarios)) // [scenario][client]
+	for i := range schedules {
+		schedules[i] = make([]string, clients)
+	}
+	clientErrs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each client walks the scenarios starting at a different
+			// offset, so every scenario sees cold and warm contention.
+			for k := 0; k < len(scenarios); k++ {
+				i := (c + k) % len(scenarios)
+				out, _, err := tryPostSchedule(hs.URL, scenarios[i].body)
+				if err != nil {
+					clientErrs[c] = fmt.Errorf("scenario %s: %w", scenarios[i].name, err)
+					return
+				}
+				schedules[i][c] = out.Result.Schedule
+			}
+		}(c)
+	}
+	// Poll the read-only endpoints while the clients hammer /v1/schedule —
+	// they iterate the system map while entries are still building, which is
+	// exactly where an unsynchronized env read would race.
+	pollStop := make(chan struct{})
+	pollDone := make(chan struct{})
+	var pollErr error
+	go func() {
+		defer close(pollDone)
+		for {
+			select {
+			case <-pollStop:
+				return
+			default:
+			}
+			for _, path := range []string{"/v1/systems", "/metrics", "/healthz"} {
+				resp, err := http.Get(hs.URL + path)
+				if err != nil {
+					pollErr = err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+	close(pollStop)
+	<-pollDone
+	if pollErr != nil {
+		t.Fatalf("read-only poller failed: %v", pollErr)
+	}
+	for c, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+
+	for i, sc := range scenarios {
+		for c := 1; c < clients; c++ {
+			if schedules[i][c] != schedules[i][0] {
+				t.Fatalf("scenario %s: client %d got a different schedule:\n%s\nvs\n%s",
+					sc.name, c, schedules[i][c], schedules[i][0])
+			}
+		}
+		if schedules[i][0] == "" {
+			t.Fatalf("scenario %s: empty schedule", sc.name)
+		}
+	}
+
+	// Close the server's store, then audit the files with a fresh store: no
+	// duplicate appends, no torn bytes, every record loads.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	audit, err := oraclestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer audit.Close()
+	cfg := thermal.DefaultPackageConfig()
+	for _, sc := range scenarios {
+		desc := oraclestore.DescForBlockModel(sc.spec.Floorplan(), cfg, sc.spec.Profile())
+		cache, err := audit.System(desc)
+		if err != nil {
+			t.Fatalf("scenario %s: %v", sc.name, err)
+		}
+		if cache.Loaded() == 0 {
+			t.Errorf("scenario %s: store file holds no records", sc.name)
+		}
+		if d := cache.Duplicates(); d != 0 {
+			t.Errorf("scenario %s: %d duplicate store appends", sc.name, d)
+		}
+		if r := cache.Recovered(); r != 0 {
+			t.Errorf("scenario %s: %d torn bytes recovered", sc.name, r)
+		}
+	}
+	st, err := audit.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != len(scenarios) {
+		t.Errorf("store holds %d files, want %d (one per scenario)", st.Files, len(scenarios))
+	}
+}

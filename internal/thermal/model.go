@@ -140,7 +140,16 @@ func NewModel(fp *floorplan.Floorplan, cfg PackageConfig) (*Model, error) {
 // SolverBackend reports which steady-state backend the model picked:
 // "dense-cholesky" below the node cutoff, "sparse-cholesky" above it.
 func (m *Model) SolverBackend() string {
-	if m.g != nil {
+	return SolverBackendForBlocks(m.n)
+}
+
+// SolverBackendForBlocks reports the backend a model over numBlocks blocks
+// will pick, without building it — the block model has 2n+2 nodes and the
+// choice depends only on that count. Callers that content-address oracle
+// answers (internal/oraclestore) use this to derive a system's store key
+// before paying for the model.
+func SolverBackendForBlocks(numBlocks int) string {
+	if 2*numBlocks+2 <= sparseNodeCutoff {
 		return "dense-cholesky"
 	}
 	return "sparse-cholesky"

@@ -41,6 +41,11 @@ type SystemOptions struct {
 	// CacheDir roots the persistent oracle cache; empty disables the
 	// persistent tier (the in-memory memo cache is always on).
 	CacheDir string
+	// StoreBudget caps the cache directory in bytes: at open, record files
+	// are evicted least-recently-used-first until the directory fits (this
+	// system's own file is freshly touched, so it is the last candidate).
+	// 0 means unbounded. Ignored without CacheDir.
+	StoreBudget int64
 }
 
 // NewSystem builds a System for a test spec under a package configuration.
@@ -76,6 +81,12 @@ func NewSystemWithOptions(spec *TestSpec, cfg PackageConfig, opts SystemOptions)
 			store.Close()
 			return nil, fmt.Errorf("thermalsched: opening oracle cache: %w", err)
 		}
+		if opts.StoreBudget > 0 {
+			if _, err := store.Evict(opts.StoreBudget); err != nil {
+				store.Close()
+				return nil, fmt.Errorf("thermalsched: evicting oracle cache to budget: %w", err)
+			}
+		}
 		s.store, s.storeCache = store, sc
 		inner = sc.Wrap(sim)
 	}
@@ -104,6 +115,20 @@ func (s *System) StoreStats() (hits, misses int64) {
 		return 0, 0
 	}
 	return s.storeCache.Stats()
+}
+
+// StoreUsage returns the persistent cache directory's record-file count and
+// total size in bytes — the quantities SystemOptions.StoreBudget bounds.
+// Zero without CacheDir.
+func (s *System) StoreUsage() (files int, bytes int64) {
+	if s.store == nil {
+		return 0, 0
+	}
+	st, err := s.store.Stats()
+	if err != nil {
+		return 0, 0
+	}
+	return st.Files, st.Bytes
 }
 
 // Spec returns the test spec.

@@ -1,7 +1,11 @@
 package thermalsched_test
 
 import (
+	"io/fs"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	thermalsched "repro"
 )
@@ -62,5 +66,60 @@ func TestSystemCacheDirWarmStart(t *testing.T) {
 	}
 	if err := plain.Close(); err != nil {
 		t.Errorf("cache-less Close: %v", err)
+	}
+}
+
+// TestSystemStoreBudgetEvictsAtOpen: a System opened with a byte budget
+// evicts stale record files LRU-first, keeps its own freshly touched file,
+// and still schedules correctly afterwards.
+func TestSystemStoreBudgetEvictsAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := thermalsched.ScheduleConfig{TL: 165, STCL: 60}
+
+	// Populate the store with the alpha system's answers.
+	first, err := thermalsched.NewSystemWithOptions(thermalsched.AlphaWorkload(),
+		thermalsched.DefaultPackage(), thermalsched.SystemOptions{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.GenerateSchedule(cfg); err != nil {
+		t.Fatal(err)
+	}
+	files, bytes := first.StoreUsage()
+	if files != 1 || bytes == 0 {
+		t.Fatalf("StoreUsage after cold run = %d files / %d bytes, want 1 file with bytes", files, bytes)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Age the alpha file so it is unambiguously the LRU victim.
+	aged := time.Now().Add(-24 * time.Hour)
+	if err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		return os.Chtimes(path, aged, aged)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different workload under a 1-byte budget: the stale alpha file must
+	// go; the new system still works and persists its own answers.
+	tight, err := thermalsched.NewSystemWithOptions(thermalsched.Figure1Workload(),
+		thermalsched.DefaultPackage(), thermalsched.SystemOptions{CacheDir: dir, StoreBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tight.Close()
+	res, err := tight.GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.NumSessions() == 0 {
+		t.Fatal("empty schedule")
+	}
+	files, _ = tight.StoreUsage()
+	if files != 0 {
+		t.Errorf("StoreUsage after budget eviction = %d files, want 0 (all evicted, incl. own aged file)", files)
 	}
 }
