@@ -16,6 +16,7 @@ import (
 	thermalsched "repro"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/linalg"
 	"repro/internal/oraclestore"
 	"repro/internal/power"
 	"repro/internal/thermal"
@@ -433,6 +434,41 @@ func BenchmarkGridSteadyState(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := gm.SteadyState(pm); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridFactor is the numeric-kernel ladder: full grid-model
+// construction (assembly + symbolic + numeric) per kernel and resolution,
+// with the numeric factorization alone reported as numeric_ms. The scalar
+// and supernodal kernels share everything outside the numeric phase and
+// produce bit-identical factors, so numeric_ms is a pure execution-strategy
+// comparison; n131k is the 256×256 tentpole rung.
+func BenchmarkGridFactor(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		res  int
+	}{
+		{"n33k", 128},
+		{"n131k", 256},
+	} {
+		for _, mode := range []linalg.FactorMode{linalg.FactorSupernodal, linalg.FactorScalar} {
+			b.Run(c.name+"/"+mode.String(), func(b *testing.B) {
+				fp := thermalsched.Alpha21364Floorplan()
+				var numeric time.Duration
+				for i := 0; i < b.N; i++ {
+					gm, err := thermal.NewGridModelWithOptions(fp, thermalsched.DefaultPackage(),
+						c.res, c.res, thermal.GridOptions{Factor: mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := gm.SolverBackend(); got != "sparse-cholesky" {
+						b.Fatalf("backend = %q, want sparse-cholesky", got)
+					}
+					numeric += gm.FactorStats().FactorTime
+				}
+				b.ReportMetric(float64(numeric.Microseconds())/1e3/float64(b.N), "numeric_ms")
+			})
 		}
 	}
 }

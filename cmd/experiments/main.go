@@ -36,11 +36,23 @@ type options struct {
 	parallel   bool
 	gridres    []int
 	orderings  []linalg.Ordering
+	factors    []linalg.FactorMode
+	panel      linalg.SupernodalOptions
 	fillBudget int
 	cacheDir   string
 	gridOracle int
 	fleetSize  int
 	fleetSeed  int64
+}
+
+// grid returns the solver options every grid model of this run is built with.
+// A zero-valued options (no parsed -factor flag) means FactorAuto.
+func (o options) grid() thermal.GridOptions {
+	g := thermal.GridOptions{Panel: o.panel}
+	if len(o.factors) > 0 {
+		g.Factor = o.factors[0]
+	}
+	return g
 }
 
 func main() {
@@ -57,6 +69,17 @@ func main() {
 		fillBudget = flag.Int("fillbudget", 0,
 			"factor fill budget (non-zeros) for -run gridres grid models; 0 = default 2^24, "+
 				"past it the model falls back to preconditioned CG")
+		factor = flag.String("factor", "auto",
+			"numeric Cholesky kernel for grid models: auto, supernodal, scalar or both "+
+				"(both ladders -run gridres through each kernel; elsewhere it means auto). "+
+				"Kernels are bit-identical — this only changes execution strategy")
+		supernodal = flag.Bool("supernodal", true,
+			"shorthand for -factor scalar when false; kept for scripting symmetry with cmd/thermsim")
+		panelWidth = flag.Int("panel", 0,
+			"max supernodal panel width in columns (0 = default 32)")
+		relax = flag.Float64("relax", -1,
+			"relaxed-amalgamation pad budget as a fraction of a panel's packed entries "+
+				"(negative = default 0.10, 0 disables padding)")
 		cacheDir = flag.String("cachedir", "",
 			"directory of the persistent oracle store; repeated runs warm-start from it across processes")
 		gridOracle = flag.Int("gridoracle", 0,
@@ -75,6 +98,11 @@ func main() {
 		os.Exit(1)
 	}
 	orderings, err := parseOrderings(*ordering)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	factors, err := parseFactors(*factor, *supernodal)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -102,6 +130,8 @@ func main() {
 		parallel:   *parallel,
 		gridres:    ladder,
 		orderings:  orderings,
+		factors:    factors,
+		panel:      panelOptions(*panelWidth, *relax),
 		fillBudget: *fillBudget,
 		cacheDir:   *cacheDir,
 		gridOracle: *gridOracle,
@@ -157,6 +187,45 @@ func parseOrderings(s string) ([]linalg.Ordering, error) {
 	}
 }
 
+// parseFactors maps the -factor/-supernodal flags to the kernel list used for
+// grid models. "-supernodal=false" is shorthand for "-factor scalar";
+// combining it with an explicit conflicting -factor is an error.
+func parseFactors(s string, supernodal bool) ([]linalg.FactorMode, error) {
+	if strings.TrimSpace(s) == "both" {
+		if !supernodal {
+			return nil, fmt.Errorf("-factor both conflicts with -supernodal=false")
+		}
+		return []linalg.FactorMode{linalg.FactorSupernodal, linalg.FactorScalar}, nil
+	}
+	mode, err := linalg.ParseFactorMode(strings.TrimSpace(s))
+	if err != nil {
+		return nil, fmt.Errorf("bad -factor %q (want auto, supernodal, scalar or both)", s)
+	}
+	if !supernodal {
+		if mode == linalg.FactorSupernodal {
+			return nil, fmt.Errorf("-factor supernodal conflicts with -supernodal=false")
+		}
+		mode = linalg.FactorScalar
+	}
+	return []linalg.FactorMode{mode}, nil
+}
+
+// panelOptions maps the -panel/-relax knobs onto SupernodalOptions: the flag
+// sentinel for "default" is -relax < 0, while SupernodalOptions uses zero for
+// default and negatives for "off", so -relax 0 translates to disabling both
+// pad budgets.
+func panelOptions(width int, relax float64) linalg.SupernodalOptions {
+	opts := linalg.SupernodalOptions{MaxPanel: width}
+	switch {
+	case relax < 0: // default ratio
+	case relax == 0:
+		opts.RelaxRatio, opts.RelaxZeros = -1, -1
+	default:
+		opts.RelaxRatio = relax
+	}
+	return opts
+}
+
 // parseGridRes parses the -gridres ladder; empty selects the default rungs.
 func parseGridRes(s string) ([]int, error) {
 	if strings.TrimSpace(s) == "" {
@@ -208,6 +277,7 @@ func run(which string, opts options) error {
 		env, err = experiments.NewEnvWithOptions(testspec.Alpha21364(), thermal.DefaultPackageConfig(), experiments.EnvOptions{
 			Store:   store,
 			GridRes: opts.gridOracle,
+			Grid:    opts.grid(),
 		})
 		if err != nil {
 			return err
@@ -300,6 +370,8 @@ func run(which string, opts options) error {
 		res, err := experiments.RunGridScale(env, opts.gridres, experiments.GridScaleOptions{
 			Orderings:  opts.orderings,
 			FillBudget: opts.fillBudget,
+			Factors:    opts.factors,
+			Panel:      opts.panel,
 		})
 		if err != nil {
 			return err
@@ -325,6 +397,7 @@ func run(which string, opts options) error {
 			Parallel:  opts.parallel,
 			Store:     store,
 			GridRes:   opts.gridOracle,
+			Grid:      opts.grid(),
 		}
 		res, err := fl.Run()
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/linalg"
@@ -21,16 +22,23 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "", "builtin workload: alpha21364 or figure1")
-		flpPath   = flag.String("flp", "", "floorplan file (HotSpot .flp format)")
-		specPath  = flag.String("spec", "", "test spec file (name functional test seconds)")
-		activeStr = flag.String("active", "", "comma-separated core names under test (empty = all)")
-		transient = flag.Bool("transient", false, "run a transient instead of steady state")
-		duration  = flag.Float64("duration", 5, "transient duration (s)")
-		step      = flag.Float64("step", 0, "transient step (s), 0 = auto")
-		grid      = flag.Int("grid", 0, "also solve an N×N grid model and print its heatmap")
-		gridOrd   = flag.String("gridord", "nd", "grid factor ordering: nd (nested dissection) or rcm")
-		gridFill  = flag.Int("fillbudget", 0, "grid factor fill budget in non-zeros; 0 = default 2^24")
+		workload   = flag.String("workload", "", "builtin workload: alpha21364 or figure1")
+		flpPath    = flag.String("flp", "", "floorplan file (HotSpot .flp format)")
+		specPath   = flag.String("spec", "", "test spec file (name functional test seconds)")
+		activeStr  = flag.String("active", "", "comma-separated core names under test (empty = all)")
+		transient  = flag.Bool("transient", false, "run a transient instead of steady state")
+		duration   = flag.Float64("duration", 5, "transient duration (s)")
+		step       = flag.Float64("step", 0, "transient step (s), 0 = auto")
+		grid       = flag.Int("grid", 0, "also solve an N×N grid model and print its heatmap")
+		gridOrd    = flag.String("gridord", "nd", "grid factor ordering: nd (nested dissection) or rcm")
+		gridFill   = flag.Int("fillbudget", 0, "grid factor fill budget in non-zeros; 0 = default 2^24")
+		supernodal = flag.Bool("supernodal", true,
+			"factor the grid model with the panel-blocked supernodal kernel "+
+				"(false = scalar reference kernel; both produce bit-identical factors)")
+		panelWidth = flag.Int("panel", 0, "max supernodal panel width in columns (0 = default 32)")
+		relax      = flag.Float64("relax", -1,
+			"relaxed-amalgamation pad budget as a fraction of a panel's packed entries "+
+				"(negative = default 0.10, 0 disables padding)")
 	)
 	flag.Parse()
 
@@ -39,7 +47,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "thermsim:", err)
 		os.Exit(1)
 	}
-	gopts := thermal.GridOptions{Ordering: ord, FillBudget: *gridFill}
+	factor := linalg.FactorAuto
+	if !*supernodal {
+		factor = linalg.FactorScalar
+	}
+	panel := linalg.SupernodalOptions{MaxPanel: *panelWidth}
+	switch {
+	case *relax < 0: // keep the canonical default ratio
+	case *relax == 0:
+		panel.RelaxRatio, panel.RelaxZeros = -1, -1
+	default:
+		panel.RelaxRatio = *relax
+	}
+	gopts := thermal.GridOptions{Ordering: ord, FillBudget: *gridFill, Factor: factor, Panel: panel}
 	if err := run(*workload, *flpPath, *specPath, *activeStr, *transient, *duration, *step, *grid, gopts); err != nil {
 		fmt.Fprintln(os.Stderr, "thermsim:", err)
 		os.Exit(1)
@@ -93,6 +113,15 @@ func run(workload, flpPath, specPath, activeStr string, transient bool, duration
 			}
 			fmt.Printf("\ngrid model (%d×%d, %s ordering, %s backend): max %.2f °C (block model: %.2f °C)\n",
 				grid, grid, gm.Ordering(), gm.SolverBackend(), gres.MaxTemp(), res.MaxTemp())
+			fs := gm.FactorStats()
+			if fs.Panels > 0 {
+				fmt.Printf("factor: %s kernel, %v numeric, %d nnz, %d panels (max width %d, %d padded zeros), batch width %d\n",
+					fs.Mode, fs.FactorTime.Round(time.Microsecond), fs.FactorNNZ,
+					fs.Panels, fs.MaxPanelWidth, fs.PaddedZeros, fs.BatchWidth)
+			} else {
+				fmt.Printf("factor: %s kernel, %v numeric, %d nnz, batch width %d\n",
+					fs.Mode, fs.FactorTime.Round(time.Microsecond), fs.FactorNNZ, fs.BatchWidth)
+			}
 			fmt.Print(gres.Heatmap())
 		}
 		return nil

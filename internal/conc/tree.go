@@ -1,0 +1,94 @@
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Tree runs fn(0) … fn(n-1) respecting a forest dependency order: node i may
+// only start once every j with parent[j] == i has finished. parent[i] must be
+// either -1 (a root) or an index > i, the shape of an elimination tree over a
+// postordered column range — which makes the serial schedule trivially valid:
+// ascending index order visits every child before its parent.
+//
+// workers <= 1 runs exactly that serial schedule. With more workers, leaves
+// and any node whose children have all finished are dispatched onto a bounded
+// set of goroutines, so independent subtrees run concurrently; the caller's
+// fn must make concurrent calls safe for nodes without an ancestor/descendant
+// relation. Once any fn fails no new nodes are started (in-flight ones
+// finish), and the lowest-index recorded error is returned — the error the
+// serial schedule would have hit first among the nodes that ran.
+func Tree(workers int, parent []int, fn func(i int) error) error {
+	n := len(parent)
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pending := make([]atomic.Int32, n)
+	for i, p := range parent {
+		if p >= 0 {
+			if p <= i || p >= n {
+				// A malformed tree cannot be scheduled; fall back to the
+				// serial order, which at worst runs a parent early.
+				for j := 0; j < n; j++ {
+					if err := fn(j); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			pending[p].Add(1)
+		}
+	}
+	// ready is buffered to n, so completions can always hand their parent to
+	// the queue without blocking inside a worker.
+	ready := make(chan int, n)
+	for i := 0; i < n; i++ {
+		if pending[i].Load() == 0 {
+			ready <- i
+		}
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				if !failed.Load() {
+					if errs[i] = fn(i); errs[i] != nil {
+						failed.Store(true)
+					}
+				}
+				// Propagate completion even after a failure so the queue
+				// drains and the channel closes.
+				if p := parent[i]; p >= 0 && pending[p].Add(-1) == 0 {
+					ready <- p
+				}
+				if remaining.Add(-1) == 0 {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package conc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randForest builds a random parent slice with parent[i] > i or -1.
+func randForest(n int, rng *rand.Rand) []int {
+	parent := make([]int, n)
+	for i := range parent {
+		if i == n-1 || rng.Intn(4) == 0 {
+			parent[i] = -1
+		} else {
+			parent[i] = i + 1 + rng.Intn(n-i-1)
+		}
+	}
+	return parent
+}
+
+func TestTreeRunsAllRespectingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		parent := randForest(n, rng)
+		for _, workers := range []int{1, 2, 4, 9} {
+			var mu sync.Mutex
+			done := make([]bool, n)
+			ran := 0
+			err := Tree(workers, parent, func(i int) error {
+				mu.Lock()
+				defer mu.Unlock()
+				for j := 0; j < i; j++ {
+					if parent[j] == i && !done[j] {
+						t.Fatalf("workers=%d: node %d started before child %d", workers, i, j)
+					}
+				}
+				done[i] = true
+				ran++
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if ran != n {
+				t.Fatalf("workers=%d: ran %d of %d nodes", workers, ran, n)
+			}
+		}
+	}
+}
+
+func TestTreeReturnsLowestIndexError(t *testing.T) {
+	parent := []int{2, 2, 4, 4, -1}
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 3} {
+		err := Tree(workers, parent, func(i int) error {
+			switch i {
+			case 1:
+				return errB
+			case 0:
+				return errA
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestTreeStopsDispatchAfterFailure(t *testing.T) {
+	// A linear chain: after node 0 fails, no ancestor should run.
+	n := 20
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i + 1
+	}
+	parent[n-1] = -1
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	ran := 0
+	err := Tree(4, parent, func(i int) error {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d nodes after a failing leaf on a chain, want 1", ran)
+	}
+}
+
+func TestTreeEmptyAndMalformed(t *testing.T) {
+	if err := Tree(4, nil, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// parent[i] <= i is malformed: the serial fallback must still visit all.
+	ran := 0
+	if err := Tree(4, []int{-1, 0, -1}, func(i int) error { ran++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("malformed-tree fallback ran %d of 3", ran)
+	}
+}

@@ -143,6 +143,16 @@ func (l *LazyOracle) init() {
 // "this run paid zero factorizations".
 func (l *LazyOracle) Built() bool { return l.built.Load() }
 
+// Inner returns the constructed oracle, or nil while unbuilt (or after a
+// build error). It never triggers construction itself, so metrics exporters
+// can inspect live oracles without forcing a factorization.
+func (l *LazyOracle) Inner() Oracle {
+	if !l.built.Load() {
+		return nil
+	}
+	return l.inner
+}
+
 // BlockTemps implements Oracle.
 func (l *LazyOracle) BlockTemps(active []int) ([]float64, error) {
 	l.init()

@@ -69,6 +69,12 @@ type EnvOptions struct {
 	// GridRes, when > 0, validates sessions on a GridRes×GridRes
 	// grid-resolution thermal model instead of the block model.
 	GridRes int
+	// Grid tunes the grid oracle's solver (ordering, fill budget, factor
+	// kernel, panel shape, batch width). The zero value is the canonical
+	// default. Only the round-off-relevant fields (Ordering, FillBudget)
+	// enter the store key — factor-kernel choices are bit-identical, so
+	// cached results stay shared across them.
+	Grid thermal.GridOptions
 }
 
 // NewEnv builds the environment for a spec under the default package.
@@ -109,17 +115,18 @@ func NewEnvWithOptions(spec *testspec.Spec, cfg thermal.PackageConfig, opts EnvO
 	env.StoreDesc = oraclestore.DescForModel(m, spec.Profile())
 	var inner core.Oracle = sim
 	if opts.GridRes > 0 {
-		n := opts.GridRes
-		// The Env builds its grid oracle with default solver options; the
-		// store key is derived from the same (canonical) options, so a
-		// future non-default wiring cannot silently share this file.
+		n, gopts := opts.GridRes, opts.Grid
+		// The store key is derived from the same (canonical) grid options the
+		// oracle is built with, so a round-off-changing wiring (ordering,
+		// fill budget) cannot silently share a file, while bit-identical
+		// kernel choices (factor mode, panel shape) deliberately do share.
 		env.StoreDesc = oraclestore.DescForGrid(spec.Floorplan(), cfg, spec.Profile(),
-			n, n, thermal.GridOptions{})
+			n, n, gopts)
 		// Defer the grid factorization to the first query even without a
 		// store, so a fleet's env-construction loop stays cheap and the
 		// factorizations happen inside the pooled cell tasks.
 		env.Lazy = core.NewLazyOracle(func() (core.Oracle, error) {
-			gm, err := thermal.NewGridModel(spec.Floorplan(), cfg, n, n)
+			gm, err := thermal.NewGridModelWithOptions(spec.Floorplan(), cfg, n, n, gopts)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: building %d×%d grid oracle: %w", n, n, err)
 			}
@@ -140,6 +147,19 @@ func NewEnvWithOptions(spec *testspec.Spec, cfg thermal.PackageConfig, opts EnvO
 	env.StoreCache = sc
 	env.Oracle = core.NewCachedOracle(sc.Wrap(inner))
 	return env, nil
+}
+
+// GridFactorStats returns the factor statistics of the grid oracle, when this
+// Env validates on one AND some query has already paid its construction. It
+// never forces the lazy build, so metrics exporters can poll it freely.
+func (e *Env) GridFactorStats() (thermal.GridFactorStats, bool) {
+	if e.Lazy == nil {
+		return thermal.GridFactorStats{}, false
+	}
+	if gro, ok := e.Lazy.Inner().(*core.GridOracle); ok {
+		return gro.Grid().FactorStats(), true
+	}
+	return thermal.GridFactorStats{}, false
 }
 
 // AlphaEnv is the canonical evaluation environment (15-core Alpha 21364).

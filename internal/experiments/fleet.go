@@ -80,6 +80,8 @@ type Fleet struct {
 	// GridRes switches every scenario to the grid-resolution validation
 	// oracle (lazily built per scenario when a store is attached).
 	GridRes int
+	// Grid tunes the grid oracles' solver; ignored when GridRes is 0.
+	Grid thermal.GridOptions
 }
 
 // The default fleet operating-point grid: a compact corner of Table 1 that
@@ -161,7 +163,7 @@ func (f *Fleet) Run() (*FleetResult, error) {
 	envs := make([]*Env, len(f.Scenarios))
 	storeBase := make([][2]int64, len(f.Scenarios))
 	for i, sc := range f.Scenarios {
-		env, err := NewEnvWithOptions(sc.Spec, cfg, EnvOptions{Store: f.Store, GridRes: f.GridRes})
+		env, err := NewEnvWithOptions(sc.Spec, cfg, EnvOptions{Store: f.Store, GridRes: f.GridRes, Grid: f.Grid})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fleet scenario %q: %w", sc.Name, err)
 		}

@@ -16,17 +16,20 @@ import (
 // amortisation from per-query cost — and the batched multi-RHS pass from the
 // per-query triangular solves it replaces.
 type GridScalePoint struct {
-	Res       int           // grid is Res×Res cells
-	Ordering  string        // fill-reducing ordering ("nd", "rcm")
-	Nodes     int           // total RC nodes (2·Res² + 2)
-	NNZ       int           // conductance matrix non-zeros
-	FactorNNZ int           // Cholesky factor non-zeros (0 on the CG fallback)
-	Backend   string        // thermal.GridModel.SolverBackend()
-	BuildTime time.Duration // model assembly + symbolic + numeric factorization
-	SolveTime time.Duration // total per-query steady-state solve time across all sessions
-	BatchTime time.Duration // the same sessions through one SteadyStateBatch call
-	Queries   int           // session count
-	PeakT     float64       // hottest cell over all sessions, °C
+	Res        int           // grid is Res×Res cells
+	Ordering   string        // fill-reducing ordering ("nd", "rcm")
+	Factor     string        // numeric kernel ("supernodal", "scalar")
+	Nodes      int           // total RC nodes (2·Res² + 2)
+	NNZ        int           // conductance matrix non-zeros
+	FactorNNZ  int           // Cholesky factor non-zeros (0 on the CG fallback)
+	Panels     int           // supernodal panel count (0 on the scalar kernel)
+	Backend    string        // thermal.GridModel.SolverBackend()
+	BuildTime  time.Duration // model assembly + symbolic + numeric factorization
+	FactorTime time.Duration // numeric factorization alone (inside BuildTime)
+	SolveTime  time.Duration // total per-query steady-state solve time across all sessions
+	BatchTime  time.Duration // the same sessions through one SteadyStateBatch call
+	Queries    int           // session count
+	PeakT      float64       // hottest cell over all sessions, °C
 }
 
 // PerQuery returns the amortized per-session solve time on the per-query
@@ -65,6 +68,14 @@ type GridScaleOptions struct {
 	// FillBudget overrides the factor fill budget (0 keeps the default), so
 	// fine rungs can be pushed past — or pinned under — the stock bound.
 	FillBudget int
+	// Factors lists the numeric kernels to ladder each resolution×ordering
+	// cell through; empty runs the grid default (supernodal) only. Both
+	// kernels are bit-identical, so any factor-time gap between them is pure
+	// execution strategy.
+	Factors []linalg.FactorMode
+	// Panel tunes the supernodal panel geometry (zero value = canonical
+	// defaults); ignored by the scalar kernel.
+	Panel linalg.SupernodalOptions
 }
 
 // RunGridScale generates the TL=165/STCL=60 Table 1 schedule in env, then
@@ -88,62 +99,75 @@ func RunGridScale(env *Env, resolutions []int, opts GridScaleOptions) (*GridScal
 	if len(orderings) == 0 {
 		orderings = []linalg.Ordering{linalg.OrderAuto}
 	}
+	factors := opts.Factors
+	if len(factors) == 0 {
+		factors = []linalg.FactorMode{linalg.FactorAuto}
+	}
 	for _, r := range resolutions {
 		if r < 2 {
 			return nil, fmt.Errorf("experiments: grid resolution %d too small", r)
 		}
 		for _, ord := range orderings {
-			start := time.Now()
-			gm, err := thermal.NewGridModelWithOptions(env.Spec.Floorplan(), env.Model.Config(), r, r,
-				thermal.GridOptions{Ordering: ord, FillBudget: opts.FillBudget})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %d×%d grid: %w", r, r, err)
-			}
-			pt := GridScalePoint{
-				Res:       r,
-				Ordering:  gm.Ordering(),
-				Nodes:     gm.NumNodes(),
-				NNZ:       gm.NNZ(),
-				FactorNNZ: gm.FactorNNZ(),
-				Backend:   gm.SolverBackend(),
-				BuildTime: time.Since(start),
-				Queries:   len(sessions),
-			}
-			pms := make([][]float64, 0, len(sessions))
-			peaks := make([]float64, 0, len(sessions))
-			for _, s := range sessions {
-				pm, err := prof.TestPowerMap(s.Cores())
+			for _, fm := range factors {
+				start := time.Now()
+				gm, err := thermal.NewGridModelWithOptions(env.Spec.Floorplan(), env.Model.Config(), r, r,
+					thermal.GridOptions{Ordering: ord, FillBudget: opts.FillBudget,
+						Factor: fm, Panel: opts.Panel})
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("experiments: %d×%d grid: %w", r, r, err)
 				}
-				pms = append(pms, pm)
+				fs := gm.FactorStats()
+				pt := GridScalePoint{
+					Res:        r,
+					Ordering:   gm.Ordering(),
+					Factor:     gm.FactorMode(),
+					Nodes:      gm.NumNodes(),
+					NNZ:        gm.NNZ(),
+					FactorNNZ:  gm.FactorNNZ(),
+					Panels:     fs.Panels,
+					Backend:    gm.SolverBackend(),
+					BuildTime:  time.Since(start),
+					FactorTime: fs.FactorTime,
+					Queries:    len(sessions),
+				}
+				pms := make([][]float64, 0, len(sessions))
+				peaks := make([]float64, 0, len(sessions))
+				for _, s := range sessions {
+					pm, err := prof.TestPowerMap(s.Cores())
+					if err != nil {
+						return nil, err
+					}
+					pms = append(pms, pm)
+					t0 := time.Now()
+					gr, err := gm.SteadyState(pm)
+					pt.SolveTime += time.Since(t0)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: %d×%d grid solve: %w", r, r, err)
+					}
+					peaks = append(peaks, gr.MaxTemp())
+					if mt := gr.MaxTemp(); mt > pt.PeakT {
+						pt.PeakT = mt
+					}
+				}
 				t0 := time.Now()
-				gr, err := gm.SteadyState(pm)
-				pt.SolveTime += time.Since(t0)
+				batch, err := gm.SteadyStateBatch(pms)
+				pt.BatchTime = time.Since(t0)
 				if err != nil {
-					return nil, fmt.Errorf("experiments: %d×%d grid solve: %w", r, r, err)
+					return nil, fmt.Errorf("experiments: %d×%d grid batch solve: %w", r, r, err)
 				}
-				peaks = append(peaks, gr.MaxTemp())
-				if mt := gr.MaxTemp(); mt > pt.PeakT {
-					pt.PeakT = mt
+				// The batched pass must reproduce the per-query answers bit for
+				// bit — cheap to verify here, and it keeps every ladder run an
+				// end-to-end identity check of the fast path. With both kernels
+				// laddered it also pins the scalar and supernodal peaks to the
+				// same bits across rungs.
+				for i, gr := range batch {
+					if gr.MaxTemp() != peaks[i] {
+						return nil, fmt.Errorf("experiments: %d×%d batched solve diverged at session %d: %g vs %g",
+							r, r, i, gr.MaxTemp(), peaks[i])
+					}
 				}
+				out.Points = append(out.Points, pt)
 			}
-			t0 := time.Now()
-			batch, err := gm.SteadyStateBatch(pms)
-			pt.BatchTime = time.Since(t0)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %d×%d grid batch solve: %w", r, r, err)
-			}
-			// The batched pass must reproduce the per-query answers bit for
-			// bit — cheap to verify here, and it keeps every ladder run an
-			// end-to-end identity check of the fast path.
-			for i, gr := range batch {
-				if gr.MaxTemp() != peaks[i] {
-					return nil, fmt.Errorf("experiments: %d×%d batched solve diverged at session %d: %g vs %g",
-						r, r, i, gr.MaxTemp(), peaks[i])
-				}
-			}
-			out.Points = append(out.Points, pt)
 		}
 	}
 	return out, nil
@@ -154,12 +178,13 @@ func (g *GridScaleResult) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Grid-resolution ladder — Table 1 schedule (TL=%.0f, STCL=%.0f, %d sessions) on n×n grids\n",
 		g.TL, g.STCL, g.Sessions)
-	fmt.Fprintf(&sb, "%6s %5s %8s %9s %10s %16s %12s %12s %12s %9s\n",
-		"grid", "ord", "nodes", "nnz", "factor", "backend", "build", "per-query", "batch/query", "peak °C")
+	fmt.Fprintf(&sb, "%6s %5s %10s %8s %9s %10s %7s %16s %12s %12s %12s %12s %9s\n",
+		"grid", "ord", "kernel", "nodes", "nnz", "factor", "panels", "backend", "build", "numeric", "per-query", "batch/query", "peak °C")
 	for _, p := range g.Points {
-		fmt.Fprintf(&sb, "%3dx%-3d %5s %8d %9d %10d %16s %12s %12s %12s %9.2f\n",
-			p.Res, p.Res, p.Ordering, p.Nodes, p.NNZ, p.FactorNNZ, p.Backend,
-			p.BuildTime.Round(time.Microsecond), p.PerQuery().Round(time.Microsecond),
+		fmt.Fprintf(&sb, "%3dx%-3d %5s %10s %8d %9d %10d %7d %16s %12s %12s %12s %12s %9.2f\n",
+			p.Res, p.Res, p.Ordering, p.Factor, p.Nodes, p.NNZ, p.FactorNNZ, p.Panels, p.Backend,
+			p.BuildTime.Round(time.Microsecond), p.FactorTime.Round(time.Microsecond),
+			p.PerQuery().Round(time.Microsecond),
 			p.PerQueryBatched().Round(time.Microsecond), p.PeakT)
 	}
 	return sb.String()

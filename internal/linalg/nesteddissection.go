@@ -271,6 +271,12 @@ func NestedDissection(s *Sparse) []int {
 // are minimal for grid graphs, so the fill beats both RCM and the BFS-level
 // separators of the general NestedDissection on this topology. Callers with
 // extra off-grid nodes (rim, sink) append them after this permutation.
+//
+// The ordering is also what makes the supernodal kernel effective here: each
+// separator strip is emitted contiguously (cells in ascending coordinate,
+// layer copies interleaved per cell), so its columns form elimination-tree
+// chains with nearly identical factor structure — exactly the runs
+// CholSymbolic.Supernodes merges into dense panels.
 func NestedDissectionGrid(nx, ny, layers int) []int {
 	if nx < 0 {
 		nx = 0

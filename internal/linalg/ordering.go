@@ -1,6 +1,55 @@
 package linalg
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
+
+// FactorMode names the numeric Cholesky kernel run against a symbolic
+// analysis. Both kernels produce bit-identical factors (see SuperSymbolic);
+// the mode only selects the execution strategy, so it never participates in
+// content-addressing of cached results.
+type FactorMode int
+
+const (
+	// FactorAuto defers the choice to the consumer; thermal.GridModel
+	// resolves it to FactorSupernodal.
+	FactorAuto FactorMode = iota
+	// FactorSupernodal is the panel-blocked left-looking kernel with
+	// etree-parallel task scheduling (SuperSymbolic.Factorize).
+	FactorSupernodal
+	// FactorScalar is the column-at-a-time up-looking kernel
+	// (CholSymbolic.Factorize) — the serial reference the supernodal kernel
+	// is cross-checked against.
+	FactorScalar
+)
+
+// String returns the short name used by CLI flags and experiment tables.
+func (m FactorMode) String() string {
+	switch m {
+	case FactorSupernodal:
+		return "supernodal"
+	case FactorScalar:
+		return "scalar"
+	default:
+		return "auto"
+	}
+}
+
+// ParseFactorMode maps a CLI name ("auto", "supernodal", "scalar") to a
+// FactorMode.
+func ParseFactorMode(s string) (FactorMode, error) {
+	switch s {
+	case "auto", "":
+		return FactorAuto, nil
+	case "supernodal":
+		return FactorSupernodal, nil
+	case "scalar":
+		return FactorScalar, nil
+	default:
+		return FactorAuto, fmt.Errorf("linalg: unknown factor mode %q (want auto, supernodal or scalar)", s)
+	}
+}
 
 // RCM computes a reverse Cuthill–McKee ordering of the symmetric sparsity
 // pattern of s: a permutation that clusters the non-zeros of each connected

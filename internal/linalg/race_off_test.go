@@ -1,0 +1,5 @@
+//go:build !race
+
+package linalg
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package linalg
+
+// raceEnabled reports whether the race detector is compiled in, so tests can
+// skip pure-arithmetic workloads (no concurrency to check) that the detector
+// slows by an order of magnitude.
+const raceEnabled = true

@@ -184,32 +184,19 @@ func (sym *CholSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
 		return nil, fmt.Errorf("%w: matrix pattern differs from the symbolic analysis", ErrShape)
 	}
 	n := sym.n
-	ch := &SparseCholesky{
-		sym: sym,
-		lp:  sym.colPtr,
-		li:  make([]int, sym.LNNZ()),
-		lx:  make([]float64, sym.LNNZ()),
-	}
-	ch.pool.New = func() any {
-		b := make([]float64, n)
-		return &b
-	}
-	ch.spPool.New = func() any {
-		// mark starts zeroed and the stamp at 0, so the first use (stamp 1)
-		// sees every node unmarked; w relies on the all-zero-between-uses
-		// invariant SolveSparseInto maintains.
-		return &spScratch{w: make([]float64, n), mark: make([]int, n)}
-	}
-	ch.mrhsPool.New = func() any {
-		b := []float64(nil)
-		return &b
-	}
+	ch := sym.newFactor(nil)
 
 	// Up-looking factorization (Davis, "Direct Methods for Sparse Linear
 	// Systems", cs_chol): for each row k, ereach gives the pattern of
-	// L(k, 0:k) in etree-topological order; a sparse triangular solve against
-	// the columns built so far yields the row's values, which are scattered
-	// into their columns.
+	// L(k, 0:k); a sparse triangular solve against the columns built so far
+	// yields the row's values, which are scattered into their columns.
+	//
+	// The reach is sorted so the row's columns are processed in ascending
+	// order — a valid etree-topological order (parents always have larger
+	// indices), chosen as the canonical operation order: every update term a
+	// factor entry receives arrives in ascending source-column order. The
+	// supernodal kernel reproduces exactly that order panel-at-a-time, which
+	// is what makes the two factorizations bit-identical.
 	x := make([]float64, n) // dense accumulator, all-zero between rows
 	cnext := make([]int, n) // next free slot per column of L
 	copy(cnext, sym.colPtr[:n])
@@ -238,6 +225,7 @@ func (sym *CholSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
 				stack[top] = path[ln]
 			}
 		}
+		sort.Ints(stack[top:])
 		d := x[k]
 		x[k] = 0
 		for ; top < n; top++ {
@@ -271,12 +259,44 @@ func (sym *CholSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
 // internal pool, so SolveInto allocates nothing in steady state.
 type SparseCholesky struct {
 	sym      *CholSymbolic
-	lp       []int // column pointers (shared with sym.colPtr)
-	li       []int // row indices
+	panels   *SuperSymbolic // non-nil when built by SuperSymbolic.Factorize
+	lp       []int          // column pointers (shared with sym.colPtr)
+	li       []int          // row indices
 	lx       []float64
 	pool     sync.Pool // *[]float64 scratch, len n
 	spPool   sync.Pool // *spScratch for sparse-RHS solves
 	mrhsPool sync.Pool // *[]float64 interleaved multi-RHS workspace
+}
+
+// newFactor builds the empty factor shell against this symbolic analysis.
+// li may be a shared, already-built row-index array (the supernodal path);
+// nil allocates one for the scalar factorization to fill.
+func (sym *CholSymbolic) newFactor(li []int) *SparseCholesky {
+	n := sym.n
+	if li == nil {
+		li = make([]int, sym.LNNZ())
+	}
+	ch := &SparseCholesky{
+		sym: sym,
+		lp:  sym.colPtr,
+		li:  li,
+		lx:  make([]float64, sym.LNNZ()),
+	}
+	ch.pool.New = func() any {
+		b := make([]float64, n)
+		return &b
+	}
+	ch.spPool.New = func() any {
+		// mark starts zeroed and the stamp at 0, so the first use (stamp 1)
+		// sees every node unmarked; w relies on the all-zero-between-uses
+		// invariant SolveSparseInto maintains.
+		return &spScratch{w: make([]float64, n), mark: make([]int, n)}
+	}
+	ch.mrhsPool.New = func() any {
+		b := []float64(nil)
+		return &b
+	}
+	return ch
 }
 
 // spScratch is the pooled workspace of one sparse-RHS solve: w holds the
@@ -346,27 +366,71 @@ func (c *SparseCholesky) SolveInto(dst, b []float64) error {
 	for k := 0; k < n; k++ {
 		w[k] = b[perm[k]]
 	}
-	// Forward: L·y = P·b, column-oriented, in place.
-	for j := 0; j < n; j++ {
-		yj := w[j] / c.lx[c.lp[j]]
-		w[j] = yj
-		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
-			w[c.li[p]] -= c.lx[p] * yj
-		}
-	}
-	// Backward: Lᵀ·z = y, row-oriented over L's columns, in place.
-	for j := n - 1; j >= 0; j-- {
-		s := w[j]
-		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
-			s -= c.lx[p] * w[c.li[p]]
-		}
-		w[j] = s / c.lx[c.lp[j]]
-	}
+	c.applyFactor(w, 1)
 	for k := 0; k < n; k++ {
 		dst[perm[k]] = w[k]
 	}
 	c.pool.Put(wp)
 	return nil
+}
+
+// applyFactor runs the forward (L·y = w) and backward (Lᵀ·z = y) triangular
+// solves in place on w, which holds k interleaved right-hand sides in permuted
+// order (entry j of RHS r at w[j*k+r]). Supernodal factors walk panels —
+// dense block triangles plus packed below-row updates — while scalar factors
+// use the per-column loops; both apply every per-entry operation in the same
+// order, so the two paths (and batched vs single solves) are bit-identical.
+func (c *SparseCholesky) applyFactor(w []float64, k int) {
+	if c.panels != nil {
+		c.panels.apply(c, w, k)
+		return
+	}
+	n := c.sym.n
+	if k == 1 {
+		// Forward: L·y = P·b, column-oriented, in place.
+		for j := 0; j < n; j++ {
+			yj := w[j] / c.lx[c.lp[j]]
+			w[j] = yj
+			for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
+				w[c.li[p]] -= c.lx[p] * yj
+			}
+		}
+		// Backward: Lᵀ·z = y, row-oriented over L's columns, in place.
+		for j := n - 1; j >= 0; j-- {
+			s := w[j]
+			for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
+				s -= c.lx[p] * w[c.li[p]]
+			}
+			w[j] = s / c.lx[c.lp[j]]
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		base := j * k
+		d := c.lx[c.lp[j]]
+		for r := 0; r < k; r++ {
+			w[base+r] /= d
+		}
+		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
+			ib, v := c.li[p]*k, c.lx[p]
+			for r := 0; r < k; r++ {
+				w[ib+r] -= v * w[base+r]
+			}
+		}
+	}
+	for j := n - 1; j >= 0; j-- {
+		base := j * k
+		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
+			ib, v := c.li[p]*k, c.lx[p]
+			for r := 0; r < k; r++ {
+				w[base+r] -= v * w[ib+r]
+			}
+		}
+		d := c.lx[c.lp[j]]
+		for r := 0; r < k; r++ {
+			w[base+r] /= d
+		}
+	}
 }
 
 // SolveSparseInto solves A·x = b for a *sparse* right-hand side: nz lists the
@@ -489,32 +553,7 @@ func (c *SparseCholesky) SolveManyInto(dst, b [][]float64) error {
 			w[base+r] = b[r][pj]
 		}
 	}
-	for j := 0; j < n; j++ {
-		base := j * k
-		d := c.lx[c.lp[j]]
-		for r := 0; r < k; r++ {
-			w[base+r] /= d
-		}
-		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
-			ib, v := c.li[p]*k, c.lx[p]
-			for r := 0; r < k; r++ {
-				w[ib+r] -= v * w[base+r]
-			}
-		}
-	}
-	for j := n - 1; j >= 0; j-- {
-		base := j * k
-		for p := c.lp[j] + 1; p < c.lp[j+1]; p++ {
-			ib, v := c.li[p]*k, c.lx[p]
-			for r := 0; r < k; r++ {
-				w[base+r] -= v * w[ib+r]
-			}
-		}
-		d := c.lx[c.lp[j]]
-		for r := 0; r < k; r++ {
-			w[base+r] /= d
-		}
-	}
+	c.applyFactor(w, k)
 	for j := 0; j < n; j++ {
 		pj, base := perm[j], j*k
 		for r := 0; r < k; r++ {
@@ -523,4 +562,29 @@ func (c *SparseCholesky) SolveManyInto(dst, b [][]float64) error {
 	}
 	c.mrhsPool.Put(wp)
 	return nil
+}
+
+// Panels returns the supernode partition the factor was built with, or nil
+// for a scalar up-looking factor.
+func (c *SparseCholesky) Panels() *SuperSymbolic { return c.panels }
+
+// PreferredBatchWidth returns the multi-RHS chunk width that best feeds this
+// factor's solve kernel. Wider chunks amortize each factor load over more
+// right-hand sides, but the interleaved panel rows and the packed below-row
+// buffer (maxRows·k doubles) must stay cache-resident or the blocked backward
+// pass thrashes; the heuristic targets that streaming working set at ≤256 KiB
+// and clamps to [8, 32] in multiples of four so the per-RHS inner loops
+// unroll cleanly. Scalar factors keep the historical width of 16.
+func (c *SparseCholesky) PreferredBatchWidth() int {
+	if c.panels == nil {
+		return 16
+	}
+	k := 32768 / (c.panels.maxRows + 32)
+	if k < 8 {
+		k = 8
+	}
+	if k > 32 {
+		k = 32
+	}
+	return k &^ 3
 }

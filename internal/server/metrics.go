@@ -69,6 +69,19 @@ type tierCounters struct {
 	StoreBytes             int64
 	StoreEvictedFiles      int
 	StoreEvictedBytes      int64
+	// Factors describes every live system whose grid factorization has been
+	// paid (fully warm systems never factor and so never appear).
+	Factors []systemFactor
+}
+
+// systemFactor is one live grid system's factorization cost, labeled by the
+// oraclestore content address.
+type systemFactor struct {
+	Key           string
+	Kernel        string
+	FactorSeconds float64
+	Panels        int
+	PeakBytes     int64
 }
 
 // render emits the Prometheus text exposition.
@@ -144,5 +157,24 @@ func (m *metrics) render(tc tierCounters) string {
 	sb.WriteString("# HELP thermserve_store_evicted_bytes_total Bytes evicted since start.\n")
 	sb.WriteString("# TYPE thermserve_store_evicted_bytes_total counter\n")
 	fmt.Fprintf(&sb, "thermserve_store_evicted_bytes_total %d\n", tc.StoreEvictedBytes)
+
+	if len(tc.Factors) > 0 {
+		sort.Slice(tc.Factors, func(i, j int) bool { return tc.Factors[i].Key < tc.Factors[j].Key })
+		sb.WriteString("# HELP thermserve_grid_factor_seconds Numeric Cholesky factorization time of a live grid system, by system key and kernel.\n")
+		sb.WriteString("# TYPE thermserve_grid_factor_seconds gauge\n")
+		for _, f := range tc.Factors {
+			fmt.Fprintf(&sb, "thermserve_grid_factor_seconds{system=%q,kernel=%q} %g\n", f.Key, f.Kernel, f.FactorSeconds)
+		}
+		sb.WriteString("# HELP thermserve_grid_factor_panels Supernodal panel count of a live grid system's factor (0 on the scalar kernel).\n")
+		sb.WriteString("# TYPE thermserve_grid_factor_panels gauge\n")
+		for _, f := range tc.Factors {
+			fmt.Fprintf(&sb, "thermserve_grid_factor_panels{system=%q} %d\n", f.Key, f.Panels)
+		}
+		sb.WriteString("# HELP thermserve_grid_factor_peak_bytes Peak factorization memory (factor values plus panel workspace) of a live grid system.\n")
+		sb.WriteString("# TYPE thermserve_grid_factor_peak_bytes gauge\n")
+		for _, f := range tc.Factors {
+			fmt.Fprintf(&sb, "thermserve_grid_factor_peak_bytes{system=%q} %d\n", f.Key, f.PeakBytes)
+		}
+	}
 	return sb.String()
 }

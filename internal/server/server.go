@@ -484,6 +484,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			tc.Tier2Hits += sh
 			tc.Tier2Misses += sm
 		}
+		if fs, ok := e.env.GridFactorStats(); ok {
+			tc.Factors = append(tc.Factors, systemFactor{
+				Key:           fmt.Sprintf("%x", e.oracleKey),
+				Kernel:        fs.Mode,
+				FactorSeconds: fs.FactorTime.Seconds(),
+				Panels:        fs.Panels,
+				PeakBytes:     fs.PeakFactorBytes,
+			})
+		}
 	}
 	s.mu.Unlock()
 	if s.store != nil {

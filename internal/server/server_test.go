@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -331,6 +332,54 @@ func TestSystemsAndMetricsEndpoints(t *testing.T) {
 	}
 	if strings.Contains(text, `thermserve_tier_hit_rate{tier="1"} 0`+"\n") {
 		t.Error("tier-1 hit rate rendered as zero after a warm request")
+	}
+}
+
+// TestMetricsGridFactorStats: after a grid-resolution request pays its
+// factorization, /metrics exposes the per-system factor cost — time, panel
+// count and peak memory — labeled with the system key and kernel. Block-model
+// traffic must not produce the families at all.
+func TestMetricsGridFactorStats(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	readMetrics := func() string {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return string(data)
+	}
+
+	postSchedule(t, hs.URL, table1Request())
+	if text := readMetrics(); strings.Contains(text, "thermserve_grid_factor_seconds") {
+		t.Error("block-model system exported grid factor metrics")
+	}
+
+	req := table1Request()
+	req["grid_res"] = 16
+	sched, _ := postSchedule(t, hs.URL, req)
+	if !sched.Cache.GridFactorized {
+		t.Fatal("grid request did not factorize")
+	}
+	text := readMetrics()
+	key := sched.Result.SystemKey
+	for _, want := range []string{
+		fmt.Sprintf("thermserve_grid_factor_seconds{system=%q,kernel=\"supernodal\"}", key),
+		fmt.Sprintf("thermserve_grid_factor_panels{system=%q}", key),
+		fmt.Sprintf("thermserve_grid_factor_peak_bytes{system=%q}", key),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, fmt.Sprintf("thermserve_grid_factor_panels{system=%q} ", key)); ok {
+			if n, err := strconv.Atoi(rest); err != nil || n <= 0 {
+				t.Errorf("panel count = %q, want a positive integer", rest)
+			}
+		}
 	}
 }
 

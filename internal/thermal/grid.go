@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/floorplan"
 	"repro/internal/linalg"
@@ -31,16 +32,39 @@ type GridOptions struct {
 	// known exactly, so the geometric separator fast path applies; OrderRCM
 	// keeps the band-profile ordering for comparison runs.
 	Ordering linalg.Ordering
+	// Factor selects the numeric factorization kernel. FactorAuto (the zero
+	// value) resolves to the supernodal panel kernel; FactorScalar keeps the
+	// column-at-a-time reference. The two produce bit-identical factors, so
+	// the choice affects build time and memory, never results.
+	Factor linalg.FactorMode
+	// Panel tunes the supernodal kernel (panel width, relaxed-amalgamation
+	// bounds, factorization workers). Zero fields take the linalg defaults.
+	Panel linalg.SupernodalOptions
+	// BatchWidth overrides how many right-hand sides one SteadyStateBatch
+	// factor pass carries. 0 auto-tunes from the factor's panel geometry
+	// (SparseCholesky.PreferredBatchWidth). Results are bit-identical at any
+	// width; only throughput changes.
+	BatchWidth int
 }
 
 // Canonical resolves the option defaults (OrderAuto → nested dissection,
-// zero budget → DefaultGridFillBudget). It is the single source of truth for
-// what a zero GridOptions means: NewGridModelWithOptions builds from it, and
-// the oracle store derives its content-address from it, so two models with
-// equal canonical options are guaranteed the same solver round-off.
+// FactorAuto → supernodal, zero budget → DefaultGridFillBudget). It is the
+// single source of truth for what a zero GridOptions means:
+// NewGridModelWithOptions builds from it, and the oracle store derives its
+// content-address from it. Only options that change solver round-off
+// (Ordering, FillBudget) version the content-address — Factor, Panel and
+// BatchWidth select bit-identical execution strategies, so cached results
+// remain valid across them by construction.
 func (o GridOptions) Canonical() GridOptions {
 	if o.Ordering == linalg.OrderAuto {
 		o.Ordering = linalg.OrderND
+	}
+	if o.Factor == linalg.FactorAuto {
+		o.Factor = linalg.FactorSupernodal
+	}
+	o.Panel = o.Panel.Canonical()
+	if o.BatchWidth < 0 {
+		o.BatchWidth = 0
 	}
 	if o.FillBudget == 0 {
 		o.FillBudget = DefaultGridFillBudget
@@ -75,8 +99,12 @@ type GridModel struct {
 	cellW      float64
 	cellH      float64
 	sys        *linalg.Sparse
-	ord        linalg.Ordering // resolved ordering (never OrderAuto)
+	ord        linalg.Ordering   // resolved ordering (never OrderAuto)
+	factor     linalg.FactorMode // resolved kernel (never FactorAuto)
+	panelOpts  linalg.SupernodalOptions
 	fillBudget int
+	batchWidth int // resolved multi-RHS chunk width
+	stats      GridFactorStats
 
 	chol    *linalg.SparseCholesky // direct backend; nil → iterative fallback
 	precond linalg.Preconditioner  // CG preconditioner on the fallback path
@@ -124,7 +152,10 @@ func NewGridModelWithOptions(fp *floorplan.Floorplan, cfg PackageConfig, nx, ny 
 		cellW:      die.W / float64(nx),
 		cellH:      die.H / float64(ny),
 		ord:        opts.Ordering,
+		factor:     opts.Factor,
+		panelOpts:  opts.Panel,
 		fillBudget: opts.FillBudget,
+		batchWidth: opts.BatchWidth,
 	}
 	g.mapBlocks()
 	g.assemble()
@@ -158,7 +189,9 @@ func (g *GridModel) ndPerm() []int {
 // buildSolver factorizes the assembled system once under the configured
 // ordering — the symbolic analysis predicts the exact fill, steering
 // oversized grids onto the preconditioned CG fallback instead of an
-// out-of-memory factor.
+// out-of-memory factor. The numeric kernel is the supernodal panel
+// factorization unless FactorScalar was requested; both yield bit-identical
+// factors, so the choice is invisible to every query path.
 func (g *GridModel) buildSolver() error {
 	var perm []int // nil → hub-aware RCM inside NewCholSymbolic
 	if g.ord == linalg.OrderND {
@@ -169,11 +202,35 @@ func (g *GridModel) buildSolver() error {
 		return fmt.Errorf("%w: grid system not SPD: %v", ErrModel, err)
 	}
 	if sym.LNNZ() <= g.fillBudget {
-		ch, err := sym.Factorize(g.sys)
+		start := time.Now() // numeric factorization only — symbolic excluded
+		var ch *linalg.SparseCholesky
+		if g.factor == linalg.FactorSupernodal {
+			ss := sym.Supernodes(g.panelOpts)
+			ch, err = ss.Factorize(g.sys)
+			if err == nil {
+				g.stats.Panels = ss.Panels()
+				g.stats.MaxPanelWidth = ss.MaxPanelWidth()
+				g.stats.PaddedZeros = ss.PaddedZeros()
+				g.stats.PeakFactorBytes = int64(sym.LNNZ())*16 + ss.WorkspaceBytes()
+			}
+		} else {
+			ch, err = sym.Factorize(g.sys)
+			if err == nil {
+				g.stats.PeakFactorBytes = int64(sym.LNNZ()) * 16
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("%w: grid system not SPD: %v", ErrModel, err)
 		}
 		g.chol = ch
+		g.stats.Mode = g.factor.String()
+		g.stats.FactorNNZ = sym.LNNZ()
+		g.stats.FactorTime = time.Since(start)
+		// Resolve the multi-RHS chunk width once the factor's panel geometry
+		// is known (see PreferredBatchWidth for the cache reasoning).
+		if g.batchWidth <= 0 {
+			g.batchWidth = ch.PreferredBatchWidth()
+		}
 		return nil
 	}
 	// Iterative fallback: IC(0) cannot break down on conductance matrices
@@ -209,6 +266,44 @@ func (g *GridModel) SolverBackend() string {
 // ("nd" or "rcm"). On the CG fallback it names the ordering whose symbolic
 // fill probe exceeded the budget, even though no factor was kept.
 func (g *GridModel) Ordering() string { return g.ord.String() }
+
+// FactorMode reports the numeric kernel the model was configured with
+// ("supernodal" or "scalar").
+func (g *GridModel) FactorMode() string { return g.factor.String() }
+
+// GridFactorStats describes the one-time factorization cost behind a grid
+// model's direct backend — the construction-side numbers the benchmarks and
+// the service /metrics endpoint share a vocabulary for. The zero value means
+// the model runs the iterative fallback and never built a factor.
+type GridFactorStats struct {
+	// Mode is the kernel that built the factor: "supernodal" or "scalar";
+	// "" on the CG fallback.
+	Mode string
+	// FactorTime is the numeric factorization alone (ordering and symbolic
+	// analysis excluded), so scalar-vs-supernodal comparisons isolate the
+	// kernel.
+	FactorTime time.Duration
+	// FactorNNZ is the factor's non-zero count (== FillBudget gate input).
+	FactorNNZ int
+	// Panels, MaxPanelWidth and PaddedZeros describe the supernode
+	// partition (zero for the scalar kernel).
+	Panels        int
+	MaxPanelWidth int
+	PaddedZeros   int64
+	// PeakFactorBytes is the resident factor (row indices + values) plus the
+	// per-worker frontal workspace the supernodal kernel holds transiently.
+	PeakFactorBytes int64
+	// BatchWidth is the resolved SteadyStateBatch chunk width.
+	BatchWidth int
+}
+
+// FactorStats returns the factorization cost profile recorded at
+// construction.
+func (g *GridModel) FactorStats() GridFactorStats {
+	s := g.stats
+	s.BatchWidth = g.batchWidth
+	return s
+}
 
 // FillBudget returns the factor-fill bound the direct backend was allowed.
 func (g *GridModel) FillBudget() int { return g.fillBudget }
@@ -455,16 +550,15 @@ func (g *GridModel) SteadyStateActive(power []float64, active []int) (*GridResul
 	return &GridResult{model: g, temps: temps}, nil
 }
 
-// gridBatchWidth bounds how many right-hand sides one blocked factor pass
-// carries: wide enough to amortise the factor traffic, narrow enough that the
-// k·n interleaved workspace stays cache- and memory-friendly at 256×256.
-const gridBatchWidth = 16
-
 // SteadyStateBatch solves many power maps against the shared factorization
-// with blocked multi-RHS triangular passes (SolveManyInto): each column of
-// the factor is streamed once per batch of up to gridBatchWidth queries
-// instead of once per query. Every result is bit-identical to the
-// corresponding SteadyState call; on the CG fallback the maps are solved one
+// with blocked multi-RHS triangular passes (SolveManyInto): the factor is
+// streamed once per chunk of queries instead of once per query. The chunk
+// width was historically a fixed 16; it is now GridOptions.BatchWidth, and
+// when unset it is auto-tuned from the factor's panel geometry at
+// construction (SparseCholesky.PreferredBatchWidth — wide enough to amortise
+// factor traffic, narrow enough that the interleaved panel workspace stays
+// cache-resident). Every result is bit-identical to the corresponding
+// SteadyState call at any width; on the CG fallback the maps are solved one
 // at a time.
 func (g *GridModel) SteadyStateBatch(powers [][]float64) ([]*GridResult, error) {
 	out := make([]*GridResult, len(powers))
@@ -490,8 +584,8 @@ func (g *GridModel) SteadyStateBatch(powers [][]float64) ([]*GridResult, error) 
 		}
 		vecs[i] = v
 	}
-	for lo := 0; lo < len(vecs); lo += gridBatchWidth {
-		hi := min(lo+gridBatchWidth, len(vecs))
+	for lo := 0; lo < len(vecs); lo += g.batchWidth {
+		hi := min(lo+g.batchWidth, len(vecs))
 		if err := g.chol.SolveManyInto(vecs[lo:hi], vecs[lo:hi]); err != nil {
 			return nil, fmt.Errorf("thermal: grid batch solve: %w", err)
 		}

@@ -415,3 +415,120 @@ func TestGridSteadyStateActiveValidatesOnFallback(t *testing.T) {
 		t.Errorf("out-of-range active on fallback: err = %v, want ErrPowerShape", err)
 	}
 }
+
+// TestGridFactorModeBitIdentical builds the same grid under the supernodal
+// (default) and scalar kernels and demands byte-identical temperature fields
+// on every query path — the invariant that lets the oracle store share
+// content-addressed results across factor modes.
+func TestGridFactorModeBitIdentical(t *testing.T) {
+	fp := floorplan.Alpha21364()
+	cfg := DefaultPackageConfig()
+	for _, ord := range []linalg.Ordering{linalg.OrderND, linalg.OrderRCM} {
+		super, err := NewGridModelWithOptions(fp, cfg, 24, 24, GridOptions{Ordering: ord})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, err := NewGridModelWithOptions(fp, cfg, 24, 24, GridOptions{
+			Ordering: ord, Factor: linalg.FactorScalar,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if super.FactorMode() != "supernodal" || scalar.FactorMode() != "scalar" {
+			t.Fatalf("factor modes: %q / %q", super.FactorMode(), scalar.FactorMode())
+		}
+		nb := fp.NumBlocks()
+		powers := make([][]float64, 7)
+		for i := range powers {
+			powers[i] = make([]float64, nb)
+			for b := range powers[i] {
+				powers[i][b] = float64((i*7+b*13)%29) / 3
+			}
+		}
+		rs, err := super.SteadyStateBatch(powers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := scalar.SteadyStateBatch(powers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rs {
+			for j := range rs[i].temps {
+				if math.Float64bits(rs[i].temps[j]) != math.Float64bits(rc[i].temps[j]) {
+					t.Fatalf("ord %v: batch %d node %d differs: %g vs %g",
+						ord, i, j, rs[i].temps[j], rc[i].temps[j])
+				}
+			}
+		}
+		a, err := super.SteadyStateActive(powers[0], []int{0, 1, 2})
+		if err == nil {
+			b, err2 := scalar.SteadyStateActive(powers[0], []int{0, 1, 2})
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			for j := range a.temps {
+				if math.Float64bits(a.temps[j]) != math.Float64bits(b.temps[j]) {
+					t.Fatalf("ord %v: active solve node %d differs", ord, j)
+				}
+			}
+		}
+	}
+}
+
+// TestGridFactorStats checks the construction-side stats the /metrics
+// endpoint and the perf reports consume.
+func TestGridFactorStats(t *testing.T) {
+	g := alphaGrid(t, 24, 24)
+	st := g.FactorStats()
+	if st.Mode != "supernodal" {
+		t.Fatalf("Mode = %q, want supernodal", st.Mode)
+	}
+	if st.FactorTime <= 0 {
+		t.Errorf("FactorTime = %v, want > 0", st.FactorTime)
+	}
+	if st.Panels <= 0 || st.Panels > g.NumNodes() {
+		t.Errorf("Panels = %d out of range", st.Panels)
+	}
+	if st.FactorNNZ != g.FactorNNZ() {
+		t.Errorf("FactorNNZ = %d, want %d", st.FactorNNZ, g.FactorNNZ())
+	}
+	if st.PeakFactorBytes < int64(st.FactorNNZ)*16 {
+		t.Errorf("PeakFactorBytes = %d < factor storage %d", st.PeakFactorBytes, st.FactorNNZ*16)
+	}
+	if st.BatchWidth < 4 || st.BatchWidth > 64 {
+		t.Errorf("BatchWidth = %d out of sane range", st.BatchWidth)
+	}
+	if st.BatchWidth%4 != 0 {
+		t.Errorf("BatchWidth = %d not a multiple of 4", st.BatchWidth)
+	}
+
+	// An explicit override wins over auto-tuning and stays bit-identical.
+	o, err := NewGridModelWithOptions(g.Floorplan(), g.Config(), 24, 24, GridOptions{BatchWidth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := o.FactorStats().BatchWidth; bw != 5 {
+		t.Fatalf("BatchWidth override = %d, want 5", bw)
+	}
+	power := make([]float64, g.Floorplan().NumBlocks())
+	for i := range power {
+		power[i] = float64(i%5) + 1
+	}
+	powers := [][]float64{power, power, power, power, power, power}
+	ra, err := g.SteadyStateBatch(powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := o.SteadyStateBatch(powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		for j := range ra[i].temps {
+			if math.Float64bits(ra[i].temps[j]) != math.Float64bits(rb[i].temps[j]) {
+				t.Fatalf("batch width 5 vs auto differ at %d/%d", i, j)
+			}
+		}
+	}
+}
