@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	thermalsched "repro"
 	"repro/internal/cliutil"
@@ -38,6 +40,8 @@ func main() {
 		savePath = flag.String("save", "", "write the schedule to this file in the text schedule format")
 		cacheDir = flag.String("cachedir", "",
 			"directory of the persistent oracle store; repeated invocations warm-start from it")
+		timeout = flag.Duration("timeout", 0,
+			"abort generation after this long, e.g. 30s (0: no deadline)")
 	)
 	flag.Parse()
 
@@ -54,6 +58,7 @@ func main() {
 		jsonOut:  *jsonOut,
 		savePath: *savePath,
 		cacheDir: *cacheDir,
+		timeout:  *timeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thermsched:", err)
@@ -68,6 +73,7 @@ type options struct {
 	order                       string
 	autoTL, verbose, jsonOut    bool
 	savePath, cacheDir          string
+	timeout                     time.Duration
 }
 
 func parseOrder(s string) (core.OrderPolicy, error) {
@@ -102,20 +108,32 @@ func run(opts options) error {
 	}
 	// The CLI is a thin front end over the public System API — including the
 	// persistent-cache wiring, so -cachedir demonstrates exactly what
-	// SystemOptions.CacheDir does.
+	// SystemOptions.CacheDir does. An unopenable cache directory degrades to
+	// an in-memory run (schedules stay correct, only warm-starting is lost)
+	// rather than failing the invocation.
 	sys, err := thermalsched.NewSystemWithOptions(spec, thermalsched.DefaultPackage(),
 		thermalsched.SystemOptions{CacheDir: opts.cacheDir})
+	if err != nil && opts.cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "thermsched: warning: persistent cache unavailable, continuing in-memory: %v\n", err)
+		sys, err = thermalsched.NewSystem(spec, thermalsched.DefaultPackage())
+	}
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
-	res, err := sys.GenerateSchedule(core.Config{
+	cfg := core.Config{
 		TL:           opts.tl,
 		STCL:         opts.stcl,
 		WeightGrowth: opts.growth,
 		Order:        order,
 		AutoRaiseTL:  opts.autoTL,
-	})
+	}
+	if opts.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), opts.timeout)
+		defer cancel()
+		cfg.Interrupt = ctx.Err
+	}
+	res, err := sys.GenerateSchedule(cfg)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,13 @@
 // directory with file-level LRU eviction. -smoke starts the server on an
 // ephemeral port, issues one cold and one warm request against it, asserts
 // the warm one was answered from cache, and exits — the CI health check.
+//
+// Admission control: -queue-depth bounds how many requests may wait for a
+// worker (beyond it the server sheds with 429 + Retry-After), -deadline sets
+// the default per-request deadline (clients override with X-Request-Deadline
+// or deadline_ms), and -max-systems bounds the live in-RAM system map by
+// LRU-dropping idle entries. /healthz reports ok|degraded with store breaker
+// state and queue occupancy.
 package main
 
 import (
@@ -40,6 +47,9 @@ func main() {
 		cacheDir    = flag.String("cachedir", "", "persistent oracle store directory (empty: in-memory tiers only)")
 		storeBudget = flag.String("store-budget", "", "store byte budget with optional K/M/G suffix, e.g. 256M; empty: unbounded")
 		workers     = flag.Int("workers", 0, "max concurrent schedule generations (0: GOMAXPROCS)")
+		queueDepth  = flag.Int("queue-depth", 0, "max requests waiting for a worker before shedding with 429 (0: 1024, negative: unbounded)")
+		maxSystems  = flag.Int("max-systems", 0, "max live simulated systems in RAM, LRU-dropping idle ones (0: unbounded)")
+		deadline    = flag.Duration("deadline", 0, "default per-request deadline, e.g. 2s (0: none; clients override via X-Request-Deadline or deadline_ms)")
 		quiet       = flag.Bool("q", false, "suppress per-request logging")
 		smoke       = flag.Bool("smoke", false, "self-check: serve one cold and one warm request, then exit")
 	)
@@ -51,9 +61,12 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := server.Config{
-		CacheDir:    *cacheDir,
-		StoreBudget: budget,
-		Workers:     *workers,
+		CacheDir:        *cacheDir,
+		StoreBudget:     budget,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		MaxSystems:      *maxSystems,
+		DefaultDeadline: *deadline,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
@@ -165,10 +178,18 @@ func runSmoke(cfg server.Config) error {
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
 
-	if resp, err := http.Get(base + "/healthz"); err != nil {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
 		return fmt.Errorf("healthz: %v", err)
-	} else if resp.Body.Close(); resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	var health server.HealthResponse
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("healthz: decoding body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		return fmt.Errorf("healthz: status %d %q", resp.StatusCode, health.Status)
 	}
 
 	post := func() (*server.ScheduleResponse, error) {

@@ -77,3 +77,86 @@ func TestPoolDefaultWorkers(t *testing.T) {
 		t.Fatalf("default Workers() = %d, want >= 1", w)
 	}
 }
+
+// TestQueuedPoolShedsWhenFull: with 1 worker and queue depth 2, the 4th
+// concurrent TryDo is rejected with ErrSaturated without ever queueing.
+func TestQueuedPoolShedsWhenFull(t *testing.T) {
+	p := NewQueuedPool(1, 2)
+	if d := p.QueueDepth(); d != 2 {
+		t.Fatalf("QueueDepth() = %d, want 2", d)
+	}
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.TryDo(context.Background(), func() { close(started); <-block })
+	<-started
+
+	// Fill the queue: two more admitted tasks wait for the single worker.
+	admitted := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { admitted <- p.TryDo(context.Background(), func() {}) }()
+	}
+	waitFor(t, func() bool { return p.Queued() == 2 })
+
+	if err := p.TryDo(context.Background(), func() { t.Error("shed task ran") }); err != ErrSaturated {
+		t.Fatalf("TryDo on full pool = %v, want ErrSaturated", err)
+	}
+	close(block)
+	for i := 0; i < 2; i++ {
+		if err := <-admitted; err != nil {
+			t.Errorf("admitted task %d: %v", i, err)
+		}
+	}
+	if q := p.Queued(); q != 0 {
+		t.Errorf("Queued() = %d after drain, want 0", q)
+	}
+}
+
+// TestQueuedPoolDeadlineWhileQueued: an admitted task whose context expires
+// before a worker frees up returns DeadlineExceeded and releases its
+// admission token.
+func TestQueuedPoolDeadlineWhileQueued(t *testing.T) {
+	p := NewQueuedPool(1, 4)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.TryDo(context.Background(), func() { close(started); <-block })
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := p.TryDo(ctx, func() { t.Error("expired task ran") }); err != context.DeadlineExceeded {
+		t.Fatalf("TryDo with expired deadline = %v, want context.DeadlineExceeded", err)
+	}
+	if q := p.Queued(); q != 0 {
+		t.Errorf("Queued() = %d after deadline, want 0 (token leaked)", q)
+	}
+	close(block)
+}
+
+// TestQueuedPoolUnboundedAndZero: negative depth disables shedding; depth 0
+// admits exactly the workers.
+func TestQueuedPoolUnboundedAndZero(t *testing.T) {
+	if d := NewQueuedPool(2, -1).QueueDepth(); d != -1 {
+		t.Fatalf("negative depth: QueueDepth() = %d, want -1", d)
+	}
+	p := NewQueuedPool(1, 0)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.TryDo(context.Background(), func() { close(started); <-block })
+	<-started
+	if err := p.TryDo(context.Background(), func() {}); err != ErrSaturated {
+		t.Fatalf("depth-0 pool with busy worker: TryDo = %v, want ErrSaturated", err)
+	}
+	close(block)
+}
+
+// waitFor polls cond to sidestep goroutine-scheduling races in setup.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

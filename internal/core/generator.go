@@ -55,6 +55,14 @@ type Config struct {
 	// running one generator per worker). Results and errors are identical
 	// at any worker count.
 	Phase1Workers int
+	// Interrupt, when non-nil, is polled before phase 1 and before every
+	// phase-2 candidate build; a non-nil return aborts the run with an error
+	// wrapping both *ErrInterrupted and the returned cause. Wire a request
+	// context's Err method here (Interrupt: ctx.Err) to give a generation a
+	// deadline or cancellation point: the abort lands between candidate
+	// simulations, so the oracle caches stay consistent — everything already
+	// simulated remains memoized and persisted for the retry.
+	Interrupt func() error
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +77,12 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// ErrInterrupted marks generator runs aborted by Config.Interrupt. The
+// returned error wraps both this sentinel and the Interrupt cause, so
+// errors.Is matches either (e.g. context.DeadlineExceeded from a request
+// deadline).
+var ErrInterrupted = errors.New("core: generation interrupted")
 
 func (c Config) validate() error {
 	if !(c.TL > 0) {
@@ -210,6 +224,17 @@ func NewGenerator(spec *testspec.Spec, sm *SessionModel, oracle Oracle, cfg Conf
 	return &Generator{spec: spec, sm: sm, oracle: oracle, cfg: cfg}, nil
 }
 
+// interrupted polls Config.Interrupt, wrapping a non-nil cause.
+func (g *Generator) interrupted() error {
+	if g.cfg.Interrupt == nil {
+		return nil
+	}
+	if cause := g.cfg.Interrupt(); cause != nil {
+		return fmt.Errorf("%w: %w", ErrInterrupted, cause)
+	}
+	return nil
+}
+
 // Run executes Algorithm 1 and returns the thermal-safe schedule.
 func (g *Generator) Run() (*Result, error) {
 	n := g.spec.NumCores()
@@ -217,6 +242,9 @@ func (g *Generator) Run() (*Result, error) {
 		BCMT:         make([]float64, n),
 		EffectiveTL:  g.cfg.TL,
 		FinalWeights: make([]float64, n),
+	}
+	if err := g.interrupted(); err != nil {
+		return nil, err
 	}
 
 	// Phase 1 (lines 1–7): per-core solo simulation, BCMT check. The n solo
@@ -330,6 +358,9 @@ func (g *Generator) Run() (*Result, error) {
 	}
 
 	for left > 0 {
+		if err := g.interrupted(); err != nil {
+			return nil, err
+		}
 		// Build the candidate session — and, when batch-validating, the
 		// whole optimistic chain of follow-on sessions it unlocks (weights
 		// only change on a violation, so the chain is exact until one).

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -171,6 +172,16 @@ func Figure1Env() (*Env, error) { return NewEnv(testspec.Figure1()) }
 // Generate runs the thermal-aware generator in this environment with the
 // shared memoized oracle.
 func (e *Env) Generate(cfg core.Config) (*core.Result, error) {
+	return e.generateWith(e.Oracle, cfg)
+}
+
+// GenerateContext is Generate with a cancellation point: the generator polls
+// ctx between candidate simulations and aborts with an error wrapping
+// core.ErrInterrupted and ctx.Err() once the context ends — the service's
+// per-request deadline path. Everything simulated before the abort stays
+// memoized and persisted.
+func (e *Env) GenerateContext(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	cfg.Interrupt = ctx.Err
 	return e.generateWith(e.Oracle, cfg)
 }
 

@@ -1,0 +1,174 @@
+package oraclestore
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is the store circuit breaker's state.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the disk path is healthy; appends persist normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: persistent disk failure; the store serves memory-only
+	// (reads from the RAM mirror, writes memoized but not persisted) until a
+	// probe succeeds.
+	BreakerOpen
+	// BreakerHalfOpen: the probe interval elapsed and exactly one trial
+	// operation is in flight; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// BreakerPolicy tunes the per-store circuit breaker.
+type BreakerPolicy struct {
+	// Failures is how many consecutive failed disk operations (append after
+	// retries, open, probe) trip the breaker open. 0 → 3.
+	Failures int
+	// Probe is how long the breaker stays open before allowing one trial
+	// operation through (half-open). 0 → 5s.
+	Probe time.Duration
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Failures <= 0 {
+		p.Failures = 3
+	}
+	if p.Probe <= 0 {
+		p.Probe = 5 * time.Second
+	}
+	return p
+}
+
+// breaker is the classic three-state circuit breaker guarding the store's
+// disk path. Closed counts consecutive failures; at the threshold it opens
+// and the store degrades to memory-only. After the probe interval one caller
+// is let through (half-open); success closes the breaker, failure re-opens
+// it and restarts the timer.
+type breaker struct {
+	policy BreakerPolicy
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	opens       int64 // times tripped open, ever
+	lastErr     error
+}
+
+func newBreaker(policy BreakerPolicy) *breaker {
+	return &breaker{policy: policy.withDefaults()}
+}
+
+// Allow reports whether the caller may touch the disk. In the open state it
+// flips to half-open once the probe interval has elapsed, admitting exactly
+// that caller as the trial; in half-open every other caller is refused.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= b.policy.Probe {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen: a trial is already in flight
+		return false
+	}
+}
+
+// Success records a disk operation that went through; it closes the breaker
+// and resets the failure streak.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.lastErr = nil
+}
+
+// Failure records a failed disk operation: it extends the streak and trips
+// the breaker when the streak reaches the threshold (immediately when the
+// failure was a half-open trial).
+func (b *breaker) Failure(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	b.lastErr = err
+	if b.state == BreakerHalfOpen || b.consecutive >= b.policy.Failures {
+		if b.state != BreakerOpen {
+			b.opens++
+		}
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// State returns the current state without transitioning it.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// snapshot returns the state, streak, trip count and last error under one
+// lock acquisition.
+func (b *breaker) snapshot() (state BreakerState, consecutive int, opens int64, lastErr error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.consecutive, b.opens, b.lastErr
+}
+
+// RetryPolicy tunes the append retry loop: transient disk errors are retried
+// with capped exponential backoff plus jitter before they count as a breaker
+// failure.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per append (first try included).
+	// 0 → 4; 1 disables retrying.
+	Attempts int
+	// Base is the backoff before the first retry; doubled each retry. 0 → 1ms.
+	Base time.Duration
+	// Cap bounds the backoff. 0 → 50ms.
+	Cap time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 50 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number retry (0-based): the capped
+// exponential, halved and re-filled with uniform jitter so concurrent
+// retriers decorrelate.
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.Base << uint(retry)
+	if d > p.Cap || d <= 0 {
+		d = p.Cap
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}

@@ -162,7 +162,7 @@ func (s *Store) Evict(budget int64) ([]FileStat, error) {
 				return evicted, err
 			}
 			delete(s.systems, keyByPath[f.Path])
-		} else if err := os.Remove(f.Path); err != nil && !os.IsNotExist(err) {
+		} else if err := s.fs.Remove(f.Path); err != nil && !os.IsNotExist(err) {
 			return evicted, fmt.Errorf("%w: evicting %s: %v", ErrStore, f.Path, err)
 		}
 		total -= f.Bytes

@@ -1,0 +1,268 @@
+package oraclestore
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// FaultOp names one class of filesystem operation a Fault can target.
+type FaultOp int
+
+const (
+	// OpAny matches every operation below.
+	OpAny FaultOp = iota
+	// OpOpen is FS.OpenFile — opening a record file.
+	OpOpen
+	// OpCreate is FS.CreateTemp — the first half of atomic file creation
+	// (and of the health probe).
+	OpCreate
+	// OpRename is FS.Rename — the publish half of atomic creation.
+	OpRename
+	// OpRemove is FS.Remove — eviction's delete.
+	OpRemove
+	// OpAppend is File.Write — the record append (and the probe write).
+	OpAppend
+	// OpSync is File.Sync.
+	OpSync
+	// OpTruncate is File.Truncate — torn-tail recovery.
+	OpTruncate
+)
+
+var faultOpNames = [...]string{"any", "open", "create", "rename", "remove", "append", "sync", "truncate"}
+
+func (o FaultOp) String() string {
+	if int(o) < len(faultOpNames) {
+		return faultOpNames[o]
+	}
+	return "unknown"
+}
+
+// Fault is one armed failure rule. The zero value of every selector is the
+// permissive default: match every op of the kind, fire always, forever.
+type Fault struct {
+	// Op selects the operations the fault applies to.
+	Op FaultOp
+	// Err is the error injected (syscall.EIO, syscall.ENOSPC, ...). May be
+	// nil for a latency-only fault.
+	Err error
+	// TornBytes, on OpAppend, writes that many bytes of the record to the
+	// real file before failing — a torn append, the crash mode the record
+	// format's CRC recovery exists for. 0 fails cleanly without writing.
+	TornBytes int
+	// Latency sleeps before the operation proceeds (or fails).
+	Latency time.Duration
+	// After skips the first After matching operations — count-based arming
+	// ("the 3rd append fails").
+	After int
+	// Count fires the fault at most Count times; 0 means until cleared.
+	Count int
+	// P fires the fault with probability P per matching op (seeded,
+	// deterministic rng); 0 means always.
+	P float64
+}
+
+// faultState tracks one armed fault's match and fire counts.
+type faultState struct {
+	Fault
+	seen  int
+	fired int
+}
+
+// FaultFS wraps an FS and injects configured faults — by operation kind,
+// count or probability — so tests can drive the store through EIO storms,
+// full disks, torn appends and slow devices deterministically. All methods
+// are safe for concurrent use; the probability stream is seeded (Seed) so a
+// given arrangement of faults replays identically.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	faults   []*faultState
+	ops      map[FaultOp]int64
+	injected int64
+}
+
+// NewFaultFS wraps inner (nil selects the real filesystem) with no faults
+// armed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS()
+	}
+	return &FaultFS{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(1)),
+		ops:   make(map[FaultOp]int64),
+	}
+}
+
+// Seed reseeds the probability stream.
+func (f *FaultFS) Seed(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// Inject arms a fault. Multiple faults may be armed; the first one that
+// matches and fires wins per operation.
+func (f *FaultFS) Inject(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, &faultState{Fault: fault})
+}
+
+// Clear disarms every fault; in-flight operations finish under the old rules.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+}
+
+// Injected returns how many faults have fired in total.
+func (f *FaultFS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// OpCount returns how many operations of a kind have been issued (fired or
+// not) — the denominator for probability assertions.
+func (f *FaultFS) OpCount(op FaultOp) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops[op]
+}
+
+// check records one operation and decides whether a fault fires, returning
+// the injected error, the torn-write byte count, and the latency to apply.
+func (f *FaultFS) check(op FaultOp) (err error, torn int, latency time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops[op]++
+	for _, st := range f.faults {
+		if st.Op != OpAny && st.Op != op {
+			continue
+		}
+		st.seen++
+		if st.seen <= st.After {
+			continue
+		}
+		if st.Count > 0 && st.fired >= st.Count {
+			continue
+		}
+		if st.P > 0 && f.rng.Float64() >= st.P {
+			continue
+		}
+		st.fired++
+		f.injected++
+		return st.Err, st.TornBytes, st.Latency
+	}
+	return nil, 0, 0
+}
+
+// apply runs the fault decision for op around fn: latency first, then either
+// the injected error or the real operation.
+func (f *FaultFS) apply(op FaultOp, fn func() error) error {
+	err, _, latency := f.check(op)
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if err != nil {
+		return err
+	}
+	return fn()
+}
+
+// MkdirAll implements FS (never faulted: directory creation is part of store
+// bootstrap, whose failure is an ordinary Open error).
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+// Stat implements FS.
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) { return f.inner.Stat(name) }
+
+// CreateTemp implements FS.
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	var file File
+	err := f.apply(OpCreate, func() error {
+		var e error
+		file, e = f.inner.CreateTemp(dir, pattern)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f}, nil
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	var file File
+	err := f.apply(OpOpen, func() error {
+		var e error
+		file, e = f.inner.OpenFile(name, flag, perm)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	return f.apply(OpRename, func() error { return f.inner.Rename(oldpath, newpath) })
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	return f.apply(OpRemove, func() error { return f.inner.Remove(name) })
+}
+
+// faultFile wraps a File, routing Write/Sync/Truncate through the fault
+// rules. Reads pass through untouched — the store's read path is in-memory
+// after load, and load corruption is better exercised with real torn files.
+type faultFile struct {
+	f  File
+	fs *FaultFS
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	err, torn, latency := w.fs.check(OpAppend)
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if err != nil {
+		if torn > 0 {
+			if torn > len(p) {
+				torn = len(p)
+			}
+			n, werr := w.f.Write(p[:torn])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	return w.fs.apply(OpSync, w.f.Sync)
+}
+
+func (w *faultFile) Truncate(size int64) error {
+	return w.fs.apply(OpTruncate, func() error { return w.f.Truncate(size) })
+}
+
+func (w *faultFile) ReadAt(p []byte, off int64) (int, error) { return w.f.ReadAt(p, off) }
+func (w *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return w.f.Seek(offset, whence)
+}
+func (w *faultFile) Close() error               { return w.f.Close() }
+func (w *faultFile) Name() string               { return w.f.Name() }
+func (w *faultFile) Stat() (os.FileInfo, error) { return w.f.Stat() }

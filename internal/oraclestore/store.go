@@ -52,7 +52,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -203,11 +202,36 @@ func (d SystemDesc) Key() ([32]byte, error) {
 	return key, nil
 }
 
+// faultCounters aggregates disk-fault accounting across a store's caches —
+// the raw material of the service's degradation metrics.
+type faultCounters struct {
+	// retries counts append attempts repeated after a failed write.
+	retries atomic.Int64
+	// failures counts appends that exhausted their retry budget.
+	failures atomic.Int64
+	// unpersisted counts records memoized in RAM only, because the disk path
+	// failed or the breaker was open when they were produced. They answer
+	// warm for this process's lifetime but are lost on restart.
+	unpersisted atomic.Int64
+}
+
 // Store manages the cache directory and hands out one SystemCache per
 // distinct system key (shared within the process, so concurrent Envs over
 // the same system append through one descriptor).
+//
+// The store degrades rather than fails: disk errors feed a circuit breaker
+// (BreakerPolicy), appends are retried with capped backoff (RetryPolicy),
+// and while the breaker is open every cache — existing and newly opened —
+// runs memory-only: reads keep answering from the RAM mirror, new answers
+// are memoized but not persisted (counted by StoreHealth.Unpersisted). A
+// probe (Store.Probe, or any append after the probe interval) half-opens the
+// breaker; one success closes it and persistence resumes.
 type Store struct {
-	dir string
+	dir   string
+	fs    FS
+	retry RetryPolicy
+	brk   *breaker
+	fc    faultCounters
 
 	mu      sync.Mutex
 	systems map[[32]byte]*SystemCache
@@ -225,15 +249,43 @@ type Store struct {
 // enforced its budget then may skip re-scanning until the value changes.
 func (s *Store) AppendedBytes() int64 { return s.appended.Load() }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// StoreOptions tunes a store's fault-tolerance plumbing; the zero value is
+// the production default.
+type StoreOptions struct {
+	// FS is the filesystem seam; nil selects the real filesystem. Tests
+	// inject a FaultFS here.
+	FS FS
+	// Retry is the append retry policy (zero: 4 attempts, 1ms base, 50ms cap).
+	Retry RetryPolicy
+	// Breaker is the circuit-breaker policy (zero: 3 failures, 5s probe).
+	Breaker BreakerPolicy
+}
+
+// Open creates (if needed) and opens a store rooted at dir with default
+// fault-tolerance options.
 func Open(dir string) (*Store, error) {
+	return OpenWithOptions(dir, StoreOptions{})
+}
+
+// OpenWithOptions creates (if needed) and opens a store rooted at dir.
+func OpenWithOptions(dir string, opts StoreOptions) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("%w: empty directory", ErrStore)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
-	return &Store{dir: dir, systems: make(map[[32]byte]*SystemCache)}, nil
+	return &Store{
+		dir:     dir,
+		fs:      fsys,
+		retry:   opts.Retry.withDefaults(),
+		brk:     newBreaker(opts.Breaker),
+		systems: make(map[[32]byte]*SystemCache),
+	}, nil
 }
 
 // Dir returns the store's root directory.
@@ -241,6 +293,12 @@ func (s *Store) Dir() string { return s.dir }
 
 // System opens (loading any prior records) or returns the already-open cache
 // for the described system.
+//
+// Disk failures degrade instead of erroring: when the breaker is open, or
+// the open itself fails (the failure is recorded against the breaker), the
+// returned cache is memory-only — fully functional, nothing persisted — so
+// serving continues through a disk outage. Only a closed store or an invalid
+// description return an error.
 func (s *Store) System(desc SystemDesc) (*SystemCache, error) {
 	key, err := desc.Key()
 	if err != nil {
@@ -256,12 +314,117 @@ func (s *Store) System(desc SystemDesc) (*SystemCache, error) {
 	}
 	hex := fmt.Sprintf("%x", key)
 	path := filepath.Join(s.dir, hex[:2], hex+".tsoc")
-	c, err := openSystemCache(path, key, desc.Floorplan.NumBlocks(), &s.appended)
-	if err != nil {
-		return nil, err
+	numBlocks := desc.Floorplan.NumBlocks()
+	var c *SystemCache
+	if s.brk.Allow() {
+		var err error
+		c, err = openSystemCache(path, key, numBlocks, s.cacheDeps())
+		if err != nil {
+			s.brk.Failure(err)
+			c = newMemOnlyCache(path, key, numBlocks, s.cacheDeps())
+		} else {
+			s.brk.Success()
+		}
+	} else {
+		c = newMemOnlyCache(path, key, numBlocks, s.cacheDeps())
 	}
 	s.systems[key] = c
 	return c, nil
+}
+
+// cacheDeps bundles the store-level plumbing every SystemCache shares.
+func (s *Store) cacheDeps() cacheDeps {
+	return cacheDeps{
+		fs:            s.fs,
+		retry:         s.retry,
+		brk:           s.brk,
+		fc:            &s.fc,
+		appendedBytes: &s.appended,
+	}
+}
+
+// StoreHealth is the fault-layer snapshot health endpoints report.
+type StoreHealth struct {
+	// Breaker is the circuit breaker's current state.
+	Breaker BreakerState
+	// ConsecutiveFailures is the current failed-disk-operation streak.
+	ConsecutiveFailures int
+	// BreakerOpens counts how many times the breaker has tripped, ever.
+	BreakerOpens int64
+	// LastError is the most recent disk failure, empty when healthy.
+	LastError string
+	// AppendRetries / AppendFailures / Unpersisted aggregate the fault
+	// counters (see faultCounters) across every cache of this store.
+	AppendRetries  int64
+	AppendFailures int64
+	Unpersisted    int64
+	// DegradedSystems counts open caches running memory-only.
+	DegradedSystems int
+}
+
+// Health reports the store's fault-layer state.
+func (s *Store) Health() StoreHealth {
+	state, consecutive, opens, lastErr := s.brk.snapshot()
+	h := StoreHealth{
+		Breaker:             state,
+		ConsecutiveFailures: consecutive,
+		BreakerOpens:        opens,
+		AppendRetries:       s.fc.retries.Load(),
+		AppendFailures:      s.fc.failures.Load(),
+		Unpersisted:         s.fc.unpersisted.Load(),
+	}
+	if lastErr != nil {
+		h.LastError = lastErr.Error()
+	}
+	s.mu.Lock()
+	for _, c := range s.systems {
+		if c.MemOnly() {
+			h.DegradedSystems++
+		}
+	}
+	s.mu.Unlock()
+	return h
+}
+
+// Probe drives breaker recovery when no write traffic would: if the breaker
+// is open and its probe interval has elapsed, it performs one small trial
+// write (create + write + sync + remove of a scratch file through the FS
+// seam) and feeds the result back — success closes the breaker, failure
+// re-opens it and restarts the timer. A closed breaker is a no-op. Returns
+// the post-probe state. Health endpoints call this so a store with only warm
+// read traffic still notices the disk came back.
+func (s *Store) Probe() BreakerState {
+	if s.brk.State() == BreakerClosed {
+		return BreakerClosed
+	}
+	if !s.brk.Allow() {
+		return s.brk.State()
+	}
+	if err := s.probeDisk(); err != nil {
+		s.brk.Failure(err)
+	} else {
+		s.brk.Success()
+	}
+	return s.brk.State()
+}
+
+// probeDisk exercises the store's write path end to end.
+func (s *Store) probeDisk() error {
+	f, err := s.fs.CreateTemp(s.dir, ".tsoc-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	defer s.fs.Remove(name)
+	if _, err := f.Write([]byte("tsoc-probe")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Close flushes and closes every open system file. The store is unusable

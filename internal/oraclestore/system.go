@@ -24,18 +24,80 @@ const (
 
 var fileMagic = [8]byte{'T', 'S', 'O', 'R', 'A', 'C', 'L', '1'}
 
+// cacheDeps is the store-level plumbing a SystemCache appends through: the
+// filesystem seam, the retry and breaker policies, and the shared counters.
+// Every field is optional (nil-safe), so direct-constructed caches in tests
+// behave like the pre-fault-layer code.
+type cacheDeps struct {
+	fs            FS
+	retry         RetryPolicy
+	brk           *breaker
+	fc            *faultCounters
+	appendedBytes *atomic.Int64
+}
+
+func (d cacheDeps) withDefaults() cacheDeps {
+	if d.fs == nil {
+		d.fs = OSFS()
+	}
+	d.retry = d.retry.withDefaults()
+	return d
+}
+
+func (d cacheDeps) allow() bool {
+	return d.brk == nil || d.brk.Allow()
+}
+
+func (d cacheDeps) success() {
+	if d.brk != nil {
+		d.brk.Success()
+	}
+}
+
+func (d cacheDeps) failure(err error) {
+	if d.brk != nil {
+		d.brk.Failure(err)
+	}
+}
+
+func (d cacheDeps) countRetry() {
+	if d.fc != nil {
+		d.fc.retries.Add(1)
+	}
+}
+
+func (d cacheDeps) countFailure() {
+	if d.fc != nil {
+		d.fc.failures.Add(1)
+	}
+}
+
+func (d cacheDeps) countUnpersisted() {
+	if d.fc != nil {
+		d.fc.unpersisted.Add(1)
+	}
+}
+
 // SystemCache is one system's on-disk memo table, fully mirrored in memory.
 // Get/Put are safe for concurrent use; Put appends one self-checksummed
 // record per distinct active set.
+//
+// A cache can run memory-only (memOnly): Get/Put work normally against the
+// RAM mirror but nothing touches disk. A cache is born memory-only when the
+// store's breaker was open (or the open failed) at System() time, and
+// becomes memory-only permanently if a torn append cannot be healed — the
+// one case where continuing to write would corrupt the file.
 type SystemCache struct {
 	path      string
 	key       [32]byte
 	numBlocks int
+	deps      cacheDeps
 
 	mu      sync.Mutex
-	f       *os.File
+	f       File
 	mem     map[string][]float64
 	evicted bool
+	memOnly bool
 
 	hits, misses atomic.Int64
 	appended     atomic.Int64
@@ -43,17 +105,13 @@ type SystemCache struct {
 	loaded       int
 	dupes        int   // duplicate records deduped at load
 	recovered    int64 // corrupt tail bytes truncated at load
-
-	// appendedBytes, when non-nil, accumulates written record bytes into the
-	// owning Store's growth counter (Store.AppendedBytes).
-	appendedBytes *atomic.Int64
 }
 
 // openSystemCache opens or creates the record file and loads every valid
-// record, truncating any torn or corrupt tail. byteCounter (optional)
-// receives the size of every appended record.
-func openSystemCache(path string, key [32]byte, numBlocks int, byteCounter *atomic.Int64) (*SystemCache, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+// record, truncating any torn or corrupt tail.
+func openSystemCache(path string, key [32]byte, numBlocks int, deps cacheDeps) (*SystemCache, error) {
+	deps = deps.withDefaults()
+	if err := deps.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	// A missing file is created *with its header* via temp-file + atomic
@@ -61,8 +119,8 @@ func openSystemCache(path string, key [32]byte, numBlocks int, byteCounter *atom
 	// header: two creators each publish a complete file and the second
 	// rename simply wins — the loser's handle appends to an unlinked inode,
 	// losing its records but corrupting nothing.
-	if _, err := os.Stat(path); os.IsNotExist(err) {
-		if err := createWithHeader(path, key, numBlocks); err != nil {
+	if _, err := deps.fs.Stat(path); os.IsNotExist(err) {
+		if err := createWithHeader(deps.fs, path, key, numBlocks); err != nil {
 			return nil, err
 		}
 	}
@@ -70,17 +128,17 @@ func openSystemCache(path string, key [32]byte, numBlocks int, byteCounter *atom
 	// file, so a second handle on the same path (another Store in this or
 	// another process) can at worst append duplicate records — deduped at
 	// the next load — never overwrite bytes mid-record.
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	f, err := deps.fs.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	c := &SystemCache{
-		path:          path,
-		key:           key,
-		numBlocks:     numBlocks,
-		f:             f,
-		mem:           make(map[string][]float64),
-		appendedBytes: byteCounter,
+		path:      path,
+		key:       key,
+		numBlocks: numBlocks,
+		deps:      deps,
+		f:         f,
+		mem:       make(map[string][]float64),
 	}
 	if err := c.load(); err != nil {
 		f.Close()
@@ -88,6 +146,23 @@ func openSystemCache(path string, key [32]byte, numBlocks int, byteCounter *atom
 	}
 	c.touch()
 	return c, nil
+}
+
+// newMemOnlyCache builds a degraded cache that never touches disk: every
+// answer is memoized in RAM only (counted as unpersisted) and lost on
+// restart. Used when the store's breaker is open at System() time or the
+// on-disk open failed.
+func newMemOnlyCache(path string, key [32]byte, numBlocks int, deps cacheDeps) *SystemCache {
+	c := &SystemCache{
+		path:      path,
+		key:       key,
+		numBlocks: numBlocks,
+		deps:      deps.withDefaults(),
+		mem:       make(map[string][]float64),
+		memOnly:   true,
+	}
+	c.touch()
+	return c
 }
 
 // touch records an access for the store's LRU eviction clock. The in-process
@@ -169,12 +244,12 @@ func headerBytes(key [32]byte, numBlocks int) []byte {
 
 // createWithHeader publishes a fresh record file atomically: header written
 // to a temp file in the same directory, fsynced, then renamed into place.
-func createWithHeader(path string, key [32]byte, numBlocks int) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tsoc-tmp-*")
+func createWithHeader(fsys FS, path string, key [32]byte, numBlocks int) error {
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), ".tsoc-tmp-*")
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrStore, err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(headerBytes(key, numBlocks)); err != nil {
 		tmp.Close()
 		return fmt.Errorf("%w: writing header: %v", ErrStore, err)
@@ -186,7 +261,7 @@ func createWithHeader(path string, key [32]byte, numBlocks int) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("%w: %v", ErrStore, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	return nil
@@ -309,7 +384,16 @@ func (c *SystemCache) Get(active []int) ([]float64, bool) {
 // Put persists one answer. Re-putting a known set is a no-op; temps must
 // have one entry per block. The append is a single write on an O_APPEND
 // descriptor (atomically positioned at EOF by the kernel), guarded by the
-// cache's lock; torn writes are healed by the next load.
+// cache's lock; a failed write is retried under the cache's RetryPolicy with
+// any torn tail truncated away first, so retries never land after garbage.
+//
+// Put degrades instead of failing: the answer is always memoized in RAM
+// before the disk is touched, and a disk failure (after retries) feeds the
+// store's breaker and counters but returns nil — the caller's simulation
+// result is correct either way, and the record answers warm for the rest of
+// this process's life. Only an evicted or closed cache still returns an
+// error, because there the caller's expectation (a live persistent tier) is
+// gone for good.
 func (c *SystemCache) Put(active []int, temps []float64) error {
 	if len(temps) != c.numBlocks {
 		return fmt.Errorf("%w: %d temps for %d blocks", ErrStore, len(temps), c.numBlocks)
@@ -321,13 +405,26 @@ func (c *SystemCache) Put(active []int, temps []float64) error {
 	c.touch()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.f == nil {
+	if c.f == nil && !c.memOnly {
 		if c.evicted {
 			return fmt.Errorf("%w: cache was evicted", ErrStore)
 		}
 		return fmt.Errorf("%w: cache is closed", ErrStore)
 	}
 	if _, ok := c.mem[key]; ok {
+		return nil
+	}
+	kept := make([]float64, len(temps))
+	copy(kept, temps)
+	c.mem[key] = kept
+
+	if c.memOnly {
+		c.deps.countUnpersisted()
+		return nil
+	}
+	if !c.deps.allow() {
+		// Breaker open: skip the disk without burning retries on it.
+		c.deps.countUnpersisted()
 		return nil
 	}
 	buf := make([]byte, 0, 4+4*len(sorted)+8*len(temps)+4)
@@ -339,17 +436,59 @@ func (c *SystemCache) Put(active []int, temps []float64) error {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t))
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	if _, err := c.f.Write(buf); err != nil {
-		return fmt.Errorf("%w: appending record: %v", ErrStore, err)
+	if err := c.appendLocked(buf); err != nil {
+		c.deps.failure(err)
+		c.deps.countFailure()
+		c.deps.countUnpersisted()
+		return nil
 	}
+	c.deps.success()
 	c.appended.Add(1)
-	if c.appendedBytes != nil {
-		c.appendedBytes.Add(int64(len(buf)))
+	if c.deps.appendedBytes != nil {
+		c.deps.appendedBytes.Add(int64(len(buf)))
 	}
-	kept := make([]float64, len(temps))
-	copy(kept, temps)
-	c.mem[key] = kept
 	return nil
+}
+
+// appendLocked writes one encoded record with retries. A partial (torn)
+// write is healed before the retry by truncating the file back to its
+// pre-write size — legal because this handle is the only in-process writer
+// (the cache lock is held) and O_APPEND positioned the write at EOF. If the
+// truncate itself fails the file can no longer be trusted not to carry
+// garbage mid-stream, so the cache flips to memory-only for the rest of its
+// life rather than appending records a future load would discard.
+func (c *SystemCache) appendLocked(buf []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < c.deps.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			c.deps.countRetry()
+			time.Sleep(c.deps.retry.backoff(attempt - 1))
+		}
+		n, err := c.f.Write(buf)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if n > 0 {
+			st, serr := c.f.Stat()
+			var terr error
+			if serr != nil {
+				terr = serr
+			} else {
+				terr = c.f.Truncate(st.Size() - int64(n))
+			}
+			if terr != nil {
+				// Torn bytes we cannot remove: retire the file handle. The
+				// next load truncates the torn tail (CRC), losing only
+				// records this process failed to persist anyway.
+				c.f.Close()
+				c.f = nil
+				c.memOnly = true
+				return fmt.Errorf("append failed (%v); torn-tail truncate failed: %w", err, terr)
+			}
+		}
+	}
+	return lastErr
 }
 
 // Len returns the number of cached answers (loaded + appended).
@@ -385,7 +524,7 @@ func (c *SystemCache) Key() [32]byte { return c.key }
 
 // SizeBytes returns the record file's current size, 0 once evicted.
 func (c *SystemCache) SizeBytes() int64 {
-	st, err := os.Stat(c.path)
+	st, err := c.deps.withDefaults().fs.Stat(c.path)
 	if err != nil {
 		return 0
 	}
@@ -397,6 +536,15 @@ func (c *SystemCache) Evicted() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.evicted
+}
+
+// MemOnly reports whether the cache is running degraded (RAM mirror only,
+// nothing persisted) — born that way under an open breaker, or flipped by an
+// unhealable torn append.
+func (c *SystemCache) MemOnly() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memOnly
 }
 
 // Evict closes the record file, deletes it from disk and drops the in-memory
@@ -412,12 +560,13 @@ func (c *SystemCache) Evict() error {
 		return nil
 	}
 	c.evicted = true
+	c.memOnly = false
 	var err error
 	if c.f != nil {
 		err = c.f.Close()
 		c.f = nil
 	}
-	if rerr := os.Remove(c.path); rerr != nil && !os.IsNotExist(rerr) && err == nil {
+	if rerr := c.deps.withDefaults().fs.Remove(c.path); rerr != nil && !os.IsNotExist(rerr) && err == nil {
 		err = rerr
 	}
 	c.mem = make(map[string][]float64)

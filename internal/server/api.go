@@ -45,6 +45,11 @@ type ScheduleRequest struct {
 	AutoRaiseTL bool `json:"auto_raise_tl,omitempty"`
 	// MaxAttempts bounds candidate simulations; 0 keeps the default.
 	MaxAttempts int `json:"max_attempts,omitempty"`
+	// DeadlineMS bounds this request's total time in the service (queue wait
+	// plus generation) in milliseconds, overriding the server default; the
+	// X-Request-Deadline header overrides both. 0 keeps the default;
+	// negative disables the deadline for this request.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 // PackageSpec mirrors thermal.PackageConfig with JSON names; zero fields
@@ -256,6 +261,37 @@ type StoreInfo struct {
 type SystemsResponse struct {
 	Systems []SystemInfo `json:"systems"`
 	Store   *StoreInfo   `json:"store,omitempty"`
+}
+
+// HealthResponse is the GET /healthz readiness body. Status is "ok" or
+// "degraded" — degraded means the service is still answering (warm tiers
+// intact) but the persistent store is not accepting writes, so new oracle
+// answers survive only as long as this process.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Worker-pool occupancy: QueueDepth requests are waiting now, out of
+	// QueueLimit admissible (-1 = unbounded); Shed counts 429s since start.
+	Workers     int   `json:"workers"`
+	QueueDepth  int   `json:"queue_depth"`
+	QueueLimit  int   `json:"queue_limit"`
+	Shed        int64 `json:"shed_total"`
+	SystemsLive int   `json:"systems_live"`
+	MaxSystems  int   `json:"max_systems,omitempty"`
+	// Store is the persistent store's fault-layer state, absent without a
+	// cache directory.
+	Store *StoreHealthInfo `json:"store,omitempty"`
+}
+
+// StoreHealthInfo mirrors oraclestore.StoreHealth for the health endpoint.
+type StoreHealthInfo struct {
+	Breaker             string `json:"breaker"` // closed | open | half_open
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	BreakerOpens        int64  `json:"breaker_opens"`
+	LastError           string `json:"last_error,omitempty"`
+	AppendRetries       int64  `json:"append_retries"`
+	AppendFailures      int64  `json:"append_failures"`
+	Unpersisted         int64  `json:"unpersisted"`
+	DegradedSystems     int    `json:"degraded_systems"`
 }
 
 // ErrorResponse is the structured error body every handler returns on

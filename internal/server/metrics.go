@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/oraclestore"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds — spanning the
@@ -69,6 +71,15 @@ type tierCounters struct {
 	StoreBytes             int64
 	StoreEvictedFiles      int
 	StoreEvictedBytes      int64
+	// Admission-control counters.
+	Shed               int64
+	DeadlineQueued     int64
+	DeadlineGenerating int64
+	SystemsDropped     int64
+	QueueDepth         int
+	QueueLimit         int // -1 = unbounded
+	// Breaker is the store's fault-layer health, nil without a store.
+	Breaker *oraclestore.StoreHealth
 	// Factors describes every live system whose grid factorization has been
 	// paid (fully warm systems never factor and so never appear).
 	Factors []systemFactor
@@ -157,6 +168,44 @@ func (m *metrics) render(tc tierCounters) string {
 	sb.WriteString("# HELP thermserve_store_evicted_bytes_total Bytes evicted since start.\n")
 	sb.WriteString("# TYPE thermserve_store_evicted_bytes_total counter\n")
 	fmt.Fprintf(&sb, "thermserve_store_evicted_bytes_total %d\n", tc.StoreEvictedBytes)
+
+	sb.WriteString("# HELP thermserve_shed_total Schedule requests shed with 429 because the admission queue was full.\n")
+	sb.WriteString("# TYPE thermserve_shed_total counter\n")
+	fmt.Fprintf(&sb, "thermserve_shed_total %d\n", tc.Shed)
+	sb.WriteString("# HELP thermserve_deadline_exceeded_total Schedule requests that ran out of deadline, by stage.\n")
+	sb.WriteString("# TYPE thermserve_deadline_exceeded_total counter\n")
+	fmt.Fprintf(&sb, "thermserve_deadline_exceeded_total{stage=\"queued\"} %d\n", tc.DeadlineQueued)
+	fmt.Fprintf(&sb, "thermserve_deadline_exceeded_total{stage=\"generating\"} %d\n", tc.DeadlineGenerating)
+	sb.WriteString("# HELP thermserve_queue_depth Schedule requests currently waiting for a worker.\n")
+	sb.WriteString("# TYPE thermserve_queue_depth gauge\n")
+	fmt.Fprintf(&sb, "thermserve_queue_depth %d\n", tc.QueueDepth)
+	sb.WriteString("# HELP thermserve_queue_limit Admission-queue bound (-1 = unbounded).\n")
+	sb.WriteString("# TYPE thermserve_queue_limit gauge\n")
+	fmt.Fprintf(&sb, "thermserve_queue_limit %d\n", tc.QueueLimit)
+	sb.WriteString("# HELP thermserve_systems_dropped_total Idle live systems dropped by the max-systems LRU bound.\n")
+	sb.WriteString("# TYPE thermserve_systems_dropped_total counter\n")
+	fmt.Fprintf(&sb, "thermserve_systems_dropped_total %d\n", tc.SystemsDropped)
+
+	if h := tc.Breaker; h != nil {
+		sb.WriteString("# HELP thermserve_store_breaker_state Store circuit breaker state (0=closed, 1=open, 2=half_open).\n")
+		sb.WriteString("# TYPE thermserve_store_breaker_state gauge\n")
+		fmt.Fprintf(&sb, "thermserve_store_breaker_state %d\n", int(h.Breaker))
+		sb.WriteString("# HELP thermserve_store_breaker_opens_total Times the store breaker has tripped open.\n")
+		sb.WriteString("# TYPE thermserve_store_breaker_opens_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_store_breaker_opens_total %d\n", h.BreakerOpens)
+		sb.WriteString("# HELP thermserve_store_append_retries_total Record appends retried after a disk error.\n")
+		sb.WriteString("# TYPE thermserve_store_append_retries_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_store_append_retries_total %d\n", h.AppendRetries)
+		sb.WriteString("# HELP thermserve_store_append_failures_total Record appends that exhausted their retries.\n")
+		sb.WriteString("# TYPE thermserve_store_append_failures_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_store_append_failures_total %d\n", h.AppendFailures)
+		sb.WriteString("# HELP thermserve_store_unpersisted_total Oracle answers memoized in RAM only because the disk path was failing.\n")
+		sb.WriteString("# TYPE thermserve_store_unpersisted_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_store_unpersisted_total %d\n", h.Unpersisted)
+		sb.WriteString("# HELP thermserve_store_degraded_systems Open system caches running memory-only.\n")
+		sb.WriteString("# TYPE thermserve_store_degraded_systems gauge\n")
+		fmt.Fprintf(&sb, "thermserve_store_degraded_systems %d\n", h.DegradedSystems)
+	}
 
 	if len(tc.Factors) > 0 {
 		sort.Slice(tc.Factors, func(i, j int) bool { return tc.Factors[i].Key < tc.Factors[j].Key })

@@ -10,15 +10,26 @@
 // persistent store is held to a byte budget by file-level LRU eviction,
 // which also drops the corresponding live systems.
 //
+// Fault tolerance. The service admits rather than accumulates: each request
+// carries a deadline (server default, overridable per request) that covers
+// queueing and generation, the worker pool bounds how many requests may wait
+// (beyond it requests are shed with 429 + Retry-After), and the live system
+// map is bounded by LRU-dropping idle systems. The persistent store degrades
+// instead of failing: disk errors are retried with backoff, persistent
+// failure trips a circuit breaker and the store serves memory-only until a
+// probe succeeds — /healthz reports "degraded" with the breaker state while
+// warm requests keep answering byte-identically.
+//
 // Endpoints:
 //
 //	POST /v1/schedule  scheduling problem in, thermal-safe schedule out
 //	GET  /v1/systems   warm systems and store statistics
-//	GET  /healthz      liveness
-//	GET  /metrics      Prometheus text: requests, latency, tier hit rates
+//	GET  /healthz      readiness: ok|degraded, breaker state, queue occupancy
+//	GET  /metrics      Prometheus text: requests, latency, tiers, shedding, breaker
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
@@ -28,6 +39,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,8 +67,31 @@ type Config struct {
 	StoreBudget int64
 	// Workers bounds concurrent schedule generations; 0 → GOMAXPROCS.
 	Workers int
+	// QueueDepth bounds how many schedule requests may wait for a worker
+	// beyond the ones running; requests beyond the bound are shed immediately
+	// with 429 + Retry-After. 0 → 1024 (generous; shedding still kicks in
+	// under a genuine pile-up); negative → unbounded (never shed).
+	QueueDepth int
+	// MaxSystems bounds the live system map: past it, the least recently
+	// used *idle* systems are dropped (their store files stay on disk, so a
+	// re-request warm-starts from tier 2). 0 → unbounded. Systems with
+	// requests in flight are never dropped, so the bound is soft under
+	// concurrent distinct-system load.
+	MaxSystems int
+	// DefaultDeadline bounds each schedule request's total time in the
+	// service — queue wait plus generation; 0 → none. Requests may override
+	// it with the X-Request-Deadline header or the deadline_ms body field.
+	DefaultDeadline time.Duration
 	// Logf receives one line per served request; nil disables logging.
 	Logf func(format string, args ...any)
+
+	// StoreFS injects a filesystem seam under the persistent store (tests use
+	// an oraclestore.FaultFS); nil selects the real filesystem.
+	StoreFS oraclestore.FS
+	// StoreRetry / StoreBreaker tune the store's append retries and circuit
+	// breaker; zero values select the production defaults.
+	StoreRetry   oraclestore.RetryPolicy
+	StoreBreaker oraclestore.BreakerPolicy
 }
 
 // Server answers schedule requests from warm oracle tiers. Create with New,
@@ -78,6 +113,13 @@ type Server struct {
 	// when nothing new has been persisted since, the post-request eviction
 	// skips its directory walk, keeping warm requests O(1).
 	evictSeen atomic.Int64
+
+	// Admission-control counters; shed must equal the number of 429s clients
+	// observed (asserted by the chaos tests).
+	shed           atomic.Int64
+	dlQueued       atomic.Int64 // deadline expired while waiting for a worker
+	dlGenerating   atomic.Int64 // deadline expired mid-generation
+	systemsDropped atomic.Int64 // idle systems LRU-dropped by MaxSystems
 }
 
 // systemEntry is one live system. The environment is built at most once, by
@@ -97,18 +139,33 @@ type systemEntry struct {
 	cores     int
 	gridRes   int
 	lastUse   time.Time // guarded by the server mu
+	inflight  int       // requests currently using this system; guarded by the server mu
 }
+
+// defaultQueueDepth is the admission bound when Config.QueueDepth is 0:
+// deep enough that bursty-but-bounded test traffic never sheds, shallow
+// enough that a genuine pile-up turns into fast 429s instead of thousands of
+// blocked goroutines.
+const defaultQueueDepth = 1024
 
 // New builds a Server, opening the persistent store when configured.
 func New(cfg Config) (*Server, error) {
+	queueDepth := cfg.QueueDepth
+	if queueDepth == 0 {
+		queueDepth = defaultQueueDepth
+	}
 	s := &Server{
 		cfg:     cfg,
-		pool:    conc.NewPool(cfg.Workers),
+		pool:    conc.NewQueuedPool(cfg.Workers, queueDepth),
 		met:     newMetrics(),
 		systems: make(map[[32]byte]*systemEntry),
 	}
 	if cfg.CacheDir != "" {
-		store, err := oraclestore.Open(cfg.CacheDir)
+		store, err := oraclestore.OpenWithOptions(cfg.CacheDir, oraclestore.StoreOptions{
+			FS:      cfg.StoreFS,
+			Retry:   cfg.StoreRetry,
+			Breaker: cfg.StoreBreaker,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("server: opening oracle store: %w", err)
 		}
@@ -220,12 +277,15 @@ func systemKeys(spec *testspec.Spec, cfg thermal.PackageConfig, gridRes int) (ma
 }
 
 // system returns the live entry for a key, creating a cold one if needed;
-// warm reports whether it already existed.
+// warm reports whether it already existed. The entry is returned with its
+// inflight count raised — callers must pair with release(e) — which is what
+// keeps MaxSystems eviction from dropping a system mid-request.
 func (s *Server) system(mapKey, oracleKey [32]byte, spec *testspec.Spec, pkg thermal.PackageConfig, gridRes int) (e *systemEntry, warm bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.systems[mapKey]; ok {
 		e.lastUse = time.Now()
+		e.inflight++
 		return e, true
 	}
 	e = &systemEntry{
@@ -234,13 +294,53 @@ func (s *Server) system(mapKey, oracleKey [32]byte, spec *testspec.Spec, pkg the
 		cores:     spec.NumCores(),
 		gridRes:   gridRes,
 		lastUse:   time.Now(),
+		inflight:  1,
 	}
 	e.bld = func() (*experiments.Env, error) {
 		return experiments.NewEnvWithOptions(spec, pkg,
 			experiments.EnvOptions{Store: s.store, GridRes: gridRes})
 	}
 	s.systems[mapKey] = e
+	s.boundSystemsLocked()
 	return e, false
+}
+
+// release drops a request's hold on its system entry.
+func (s *Server) release(e *systemEntry) {
+	s.mu.Lock()
+	e.inflight--
+	s.mu.Unlock()
+}
+
+// boundSystemsLocked enforces Config.MaxSystems by dropping the least
+// recently used idle entries. Live environments are derived state: the
+// persistent store file survives, so a dropped system re-requested later
+// warm-starts from tier 2 instead of re-simulating. Entries with requests in
+// flight are skipped, so under enough concurrent distinct-system load the
+// bound is soft rather than a denial of service. Callers hold s.mu.
+func (s *Server) boundSystemsLocked() {
+	max := s.cfg.MaxSystems
+	if max <= 0 || len(s.systems) <= max {
+		return
+	}
+	type cand struct {
+		key     [32]byte
+		lastUse time.Time
+	}
+	var idle []cand
+	for k, e := range s.systems {
+		if e.inflight == 0 {
+			idle = append(idle, cand{k, e.lastUse})
+		}
+	}
+	sort.Slice(idle, func(i, j int) bool { return idle[i].lastUse.Before(idle[j].lastUse) })
+	for _, c := range idle {
+		if len(s.systems) <= max {
+			break
+		}
+		delete(s.systems, c.key)
+		s.systemsDropped.Add(1)
+	}
 }
 
 // dropSystem removes a failed or evicted entry so the next request rebuilds.
@@ -283,6 +383,27 @@ func (s *Server) maybeEvict() {
 	}
 }
 
+// requestDeadline resolves a request's deadline: the X-Request-Deadline
+// header (a Go duration like "250ms", or a bare integer of milliseconds)
+// wins over the deadline_ms body field, which wins over the server default.
+// A non-positive resolved value means no deadline.
+func (s *Server) requestDeadline(r *http.Request, req *ScheduleRequest) (time.Duration, error) {
+	if h := r.Header.Get("X-Request-Deadline"); h != "" {
+		if d, err := time.ParseDuration(h); err == nil {
+			return d, nil
+		}
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("X-Request-Deadline %q: want a duration (\"250ms\") or integer milliseconds", h)
+		}
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	if req.DeadlineMS != 0 {
+		return time.Duration(req.DeadlineMS) * time.Millisecond, nil
+	}
+	return s.cfg.DefaultDeadline, nil
+}
+
 // handleSchedule serves POST /v1/schedule.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
@@ -291,6 +412,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request body: %v", err))
+		return
+	}
+	deadline, err := s.requestDeadline(r, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_deadline", err.Error())
 		return
 	}
 	spec, err := req.resolveSpec()
@@ -314,7 +440,17 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The deadline covers everything from here on: system build, queue wait,
+	// generation. The client disconnecting cancels the same context.
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
 	entry, warm := s.system(mapKey, oracleKey, spec, pkg, req.GridRes)
+	defer s.release(entry)
 	entry.once.Do(func() {
 		env, err := entry.bld()
 		s.mu.Lock()
@@ -345,26 +481,53 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		genDur   time.Duration
 	)
 	queued := time.Now()
-	if err := s.pool.Do(r.Context(), func() {
+	if err := s.pool.TryDo(ctx, func() {
 		queueDur = time.Since(queued)
 		t0 := time.Now()
-		res, genErr = env.Generate(genCfg)
+		res, genErr = env.GenerateContext(ctx, genCfg)
 		genDur = time.Since(t0)
 	}); err != nil {
-		// The client gave up while queued; 503 tells retrying proxies the
-		// pool was saturated.
-		writeError(w, http.StatusServiceUnavailable, "canceled",
-			fmt.Sprintf("request canceled while queued: %v", err))
+		switch {
+		case errors.Is(err, conc.ErrSaturated):
+			// Shed: the admission queue is full. Retry-After gives polite
+			// clients a backoff hint; the counter must match what clients
+			// observe (asserted by the chaos tests).
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "saturated",
+				fmt.Sprintf("admission queue full (%d workers + %d queued); retry later",
+					s.pool.Workers(), s.pool.QueueDepth()))
+		case errors.Is(err, context.DeadlineExceeded):
+			s.dlQueued.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "deadline_queued",
+				fmt.Sprintf("deadline expired after %s waiting for a worker", time.Since(queued).Round(time.Millisecond)))
+		default:
+			// The client gave up while queued; 503 tells retrying proxies the
+			// pool was saturated.
+			writeError(w, http.StatusServiceUnavailable, "canceled",
+				fmt.Sprintf("request canceled while queued: %v", err))
+		}
 		return
 	}
 	s.maybeEvict()
 	if genErr != nil {
-		var ma *core.MaxAttemptsError
-		code, status := "schedule_failed", http.StatusUnprocessableEntity
-		if errors.As(genErr, &ma) {
-			code = "max_attempts"
+		switch {
+		case errors.Is(genErr, context.DeadlineExceeded):
+			s.dlGenerating.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "deadline_generating",
+				fmt.Sprintf("deadline expired mid-generation after %s (everything simulated so far stays cached): %v",
+					genDur.Round(time.Millisecond), genErr))
+		case errors.Is(genErr, core.ErrInterrupted):
+			writeError(w, http.StatusServiceUnavailable, "canceled",
+				fmt.Sprintf("request canceled mid-generation: %v", genErr))
+		default:
+			var ma *core.MaxAttemptsError
+			code, status := "schedule_failed", http.StatusUnprocessableEntity
+			if errors.As(genErr, &ma) {
+				code = "max_attempts"
+			}
+			writeError(w, status, code, genErr.Error())
 		}
-		writeError(w, status, code, genErr.Error())
 		return
 	}
 
@@ -462,9 +625,43 @@ func (s *Server) handleSystems(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz serves GET /healthz.
+// handleHealthz serves GET /healthz: a readiness probe that reports "ok" or
+// "degraded" (store breaker not closed, or systems running memory-only) plus
+// the breaker state and queue occupancy. Polling it also drives breaker
+// recovery: each probe gives an open breaker a chance to half-open and test
+// the disk, so a store with only warm read traffic still notices the disk
+// came back. The status code is always 200 — a degraded server is still
+// serving, just not persisting — so load balancers keep routing to it.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := HealthResponse{
+		Status:     "ok",
+		Workers:    s.pool.Workers(),
+		QueueDepth: s.pool.Queued(),
+		QueueLimit: s.pool.QueueDepth(),
+		Shed:       s.shed.Load(),
+	}
+	s.mu.Lock()
+	resp.SystemsLive = len(s.systems)
+	s.mu.Unlock()
+	resp.MaxSystems = s.cfg.MaxSystems
+	if s.store != nil {
+		s.store.Probe()
+		h := s.store.Health()
+		resp.Store = &StoreHealthInfo{
+			Breaker:             h.Breaker.String(),
+			ConsecutiveFailures: h.ConsecutiveFailures,
+			BreakerOpens:        h.BreakerOpens,
+			LastError:           h.LastError,
+			AppendRetries:       h.AppendRetries,
+			AppendFailures:      h.AppendFailures,
+			Unpersisted:         h.Unpersisted,
+			DegradedSystems:     h.DegradedSystems,
+		}
+		if h.Breaker != oraclestore.BreakerClosed || h.DegradedSystems > 0 {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics serves GET /metrics.
@@ -495,6 +692,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	tc.Shed = s.shed.Load()
+	tc.DeadlineQueued = s.dlQueued.Load()
+	tc.DeadlineGenerating = s.dlGenerating.Load()
+	tc.SystemsDropped = s.systemsDropped.Load()
+	tc.QueueDepth = s.pool.Queued()
+	tc.QueueLimit = s.pool.QueueDepth()
 	if s.store != nil {
 		if st, err := s.store.Stats(); err == nil {
 			tc.StoreFiles = st.Files
@@ -502,6 +705,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			tc.StoreEvictedFiles = st.EvictedFiles
 			tc.StoreEvictedBytes = st.EvictedBytes
 		}
+		h := s.store.Health()
+		tc.Breaker = &h
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
