@@ -10,6 +10,11 @@
 package thermalsched_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -19,6 +24,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/oraclestore"
 	"repro/internal/power"
+	"repro/internal/server"
 	"repro/internal/thermal"
 )
 
@@ -190,6 +196,64 @@ func BenchmarkTable1WarmStore(b *testing.B) {
 		b.ReportMetric(float64(cold)/float64(perOp), "speedup_x")
 		b.ReportMetric(float64(cold.Microseconds())/1e3, "cold_ms")
 		b.ReportMetric(float64(perOp.Microseconds())/1e3, "warm_ms")
+	}
+}
+
+// BenchmarkJobSubmitWarm measures the durable async job path end to end
+// against a warm store: POST /v1/jobs (journal append + admission), the
+// queued generation answered from the cache tiers, and the SSE event stream
+// followed to the terminal state. Reported as warm_job_ms — the latency a
+// client sees for an already-cached problem through the asynchronous API.
+func BenchmarkJobSubmitWarm(b *testing.B) {
+	srv, err := server.New(server.Config{CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	body := []byte(`{"workload":"alpha21364","tl_celsius":165,"stcl":60}`)
+	resp, err := http.Post(hs.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup request status %d", resp.StatusCode)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sub server.JobSubmitResponse
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("job submit: status %d (%v)", resp.StatusCode, err)
+		}
+		// The SSE stream closes after the terminal event — following it is
+		// the cheapest completion wait and exercises the streaming path.
+		resp, err = http.Get(hs.URL + "/v1/jobs/" + sub.ID + "/events")
+		if err != nil {
+			b.Fatal(err)
+		}
+		events, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Contains(events, []byte(`"state":"done"`)) {
+			b.Fatalf("job %s did not reach done:\n%s", sub.ID, events)
+		}
+	}
+	perOp := b.Elapsed() / time.Duration(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(perOp.Microseconds())/1e3, "warm_job_ms")
 	}
 }
 

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// runHistory loads a sequence of reports (the positional args, or every
+// BENCH_*.json in the working directory in numeric order) and prints a
+// markdown trend table of tier-1 ns/op across them.
+func runHistory(args []string) error {
+	paths := args
+	if len(paths) == 0 {
+		var err error
+		paths, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return err
+		}
+		sortReportPaths(paths)
+	}
+	if len(paths) < 2 {
+		return fmt.Errorf("history needs at least two reports, found %d", len(paths))
+	}
+	var (
+		names []string
+		reps  []*Report
+	)
+	for _, p := range paths {
+		rep, err := readReport(p)
+		if err != nil {
+			return err
+		}
+		names = append(names, strings.TrimSuffix(filepath.Base(p), ".json"))
+		reps = append(reps, rep)
+	}
+	fmt.Print(historyTable(names, reps))
+	return nil
+}
+
+// benchNumRe extracts the numeric suffix of BENCH_<n>.json.
+var benchNumRe = regexp.MustCompile(`BENCH_(\d+)\.json$`)
+
+// sortReportPaths orders report files by their numeric suffix where present
+// (so BENCH_10 follows BENCH_9, not BENCH_1), lexically otherwise.
+func sortReportPaths(paths []string) {
+	num := func(p string) (int, bool) {
+		m := benchNumRe.FindStringSubmatch(p)
+		if m == nil {
+			return 0, false
+		}
+		n, err := strconv.Atoi(m[1])
+		return n, err == nil
+	}
+	sort.SliceStable(paths, func(i, j int) bool {
+		ni, oki := num(paths[i])
+		nj, okj := num(paths[j])
+		if oki && okj {
+			return ni < nj
+		}
+		if oki != okj {
+			return okj // non-numeric names sort first, in place
+		}
+		return paths[i] < paths[j]
+	})
+}
+
+// historyTable renders the trend table: one row per tier-1 benchmark seen in
+// any report (union, sorted by name), one ms/op column per report, and a
+// final Δ column with the change from the benchmark's first to its last
+// appearance. Cells for reports that predate (or dropped) a benchmark show
+// "—". Only tier-1 families appear — custom metrics and informational benches
+// stay in the JSON.
+func historyTable(names []string, reps []*Report) string {
+	rows := map[string][]float64{} // name -> ns/op per report, 0 = absent
+	for i, rep := range reps {
+		for _, b := range rep.Benches {
+			if !tier1(b.Name) {
+				continue
+			}
+			r, ok := rows[b.Name]
+			if !ok {
+				r = make([]float64, len(reps))
+				rows[b.Name] = r
+			}
+			r[i] = b.NsPerOp
+		}
+	}
+	var order []string
+	for name := range rows {
+		order = append(order, name)
+	}
+	sort.Strings(order)
+
+	var sb strings.Builder
+	sb.WriteString("| benchmark |")
+	for _, n := range names {
+		sb.WriteString(" " + n + " |")
+	}
+	sb.WriteString(" Δ first→last |\n|---|")
+	for range names {
+		sb.WriteString("---:|")
+	}
+	sb.WriteString("---:|\n")
+	for _, name := range order {
+		sb.WriteString("| " + name + " |")
+		var first, last float64
+		for _, v := range rows[name] {
+			if v > 0 {
+				if first == 0 {
+					first = v
+				}
+				last = v
+			}
+			sb.WriteString(" " + fmtMS(v) + " |")
+		}
+		delta := "—"
+		if first > 0 && last > 0 && first != last {
+			delta = fmt.Sprintf("%+.1f%%", 100*(last/first-1))
+		} else if first > 0 {
+			delta = "+0.0%"
+		}
+		sb.WriteString(" " + delta + " |\n")
+	}
+	return sb.String()
+}
+
+// fmtMS renders an ns/op value as milliseconds with a width that keeps both
+// microsecond-scale service paths and multi-second factorizations readable.
+func fmtMS(ns float64) string {
+	if ns <= 0 {
+		return "—"
+	}
+	ms := ns / 1e6
+	switch {
+	case ms < 1:
+		return fmt.Sprintf("%.3f ms", ms)
+	case ms < 100:
+		return fmt.Sprintf("%.1f ms", ms)
+	default:
+		return fmt.Sprintf("%.0f ms", ms)
+	}
+}

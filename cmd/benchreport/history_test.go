@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSortReportPathsNumeric(t *testing.T) {
+	paths := []string{"BENCH_10.json", "BENCH_6.json", "BENCH_9.json", "BENCH_7.json"}
+	sortReportPaths(paths)
+	want := []string{"BENCH_6.json", "BENCH_7.json", "BENCH_9.json", "BENCH_10.json"}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, paths[i], want[i], paths)
+		}
+	}
+}
+
+func TestHistoryTable(t *testing.T) {
+	reps := []*Report{
+		{Benches: []BenchLine{
+			{Name: "BenchmarkFleetSweep", NsPerOp: 10e6},
+			{Name: "BenchmarkGridSteady/n1k", NsPerOp: 0.5e6},
+			{Name: "BenchmarkFigure1", NsPerOp: 1e6}, // not tier-1: excluded
+		}},
+		{Benches: []BenchLine{
+			{Name: "BenchmarkFleetSweep", NsPerOp: 8e6},
+			{Name: "BenchmarkGridSteady/n1k", NsPerOp: 0.5e6},
+			{Name: "BenchmarkJobSubmitWarm", NsPerOp: 0.8e6}, // new this report
+		}},
+	}
+	got := historyTable([]string{"BENCH_7", "BENCH_8"}, reps)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), got)
+	}
+	if lines[0] != "| benchmark | BENCH_7 | BENCH_8 | Δ first→last |" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Rows are name-sorted; the improvement and the new-benchmark gap render.
+	if want := "| BenchmarkFleetSweep | 10.0 ms | 8.0 ms | -20.0% |"; lines[2] != want {
+		t.Errorf("row = %q, want %q", lines[2], want)
+	}
+	if want := "| BenchmarkGridSteady/n1k | 0.500 ms | 0.500 ms | +0.0% |"; lines[3] != want {
+		t.Errorf("row = %q, want %q", lines[3], want)
+	}
+	if want := "| BenchmarkJobSubmitWarm | — | 0.800 ms | +0.0% |"; lines[4] != want {
+		t.Errorf("row = %q, want %q", lines[4], want)
+	}
+	if strings.Contains(got, "BenchmarkFigure1") {
+		t.Error("non-tier-1 benchmark leaked into the history table")
+	}
+}

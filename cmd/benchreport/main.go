@@ -8,6 +8,7 @@
 //	benchreport -out BENCH_6.json                 # run + write a report
 //	benchreport -against BENCH_6.json             # run + gate against it
 //	benchreport -compare BENCH_5.json BENCH_6.json # gate file vs file, no run
+//	benchreport -history                          # markdown trend table over BENCH_*.json
 //
 // The gate only inspects tier-1 benchmarks (see tier1Prefixes): a fresh
 // ns/op more than -maxregress above the committed one fails the gate.
@@ -39,10 +40,11 @@ var tier1Prefixes = []string{
 	"BenchmarkTable1CellGridCold",
 	"BenchmarkFleetSweep",
 	"BenchmarkTable1WarmStore",
+	"BenchmarkJobSubmitWarm",
 }
 
 // defaultBench selects exactly the tier-1 families.
-const defaultBench = "^(BenchmarkGridFactor|BenchmarkGridSteady|BenchmarkGridSteadyBatch|BenchmarkTable1CellGridCold|BenchmarkFleetSweep|BenchmarkTable1WarmStore)$"
+const defaultBench = "^(BenchmarkGridFactor|BenchmarkGridSteady|BenchmarkGridSteadyBatch|BenchmarkTable1CellGridCold|BenchmarkFleetSweep|BenchmarkTable1WarmStore|BenchmarkJobSubmitWarm)$"
 
 // Report is the persisted file format.
 type Report struct {
@@ -74,12 +76,20 @@ func main() {
 		out        = flag.String("out", "", "write the fresh run's JSON report here")
 		against    = flag.String("against", "", "gate the fresh run against this committed report")
 		compare    = flag.Bool("compare", false, "positional args are <old.json> <new.json>; gate file against file without running anything")
+		history    = flag.Bool("history", false, "print a markdown trend table over the positional report files (default: BENCH_*.json in order) without running anything")
 		maxRegress = flag.Float64("maxregress", 0.25,
 			"maximum tolerated tier-1 ns/op regression as a fraction (0.25 = +25%)")
 		verbose = flag.Bool("v", false, "stream go test output while running")
 	)
 	flag.Parse()
 
+	if *history {
+		if err := runHistory(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*bench, *benchtime, *out, *against, *compare, *maxRegress, *verbose, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)

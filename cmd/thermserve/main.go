@@ -50,8 +50,9 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 0, "max requests waiting for a worker before shedding with 429 (0: 1024, negative: unbounded)")
 		maxSystems  = flag.Int("max-systems", 0, "max live simulated systems in RAM, LRU-dropping idle ones (0: unbounded)")
 		deadline    = flag.Duration("deadline", 0, "default per-request deadline, e.g. 2s (0: none; clients override via X-Request-Deadline or deadline_ms)")
+		drainTO     = flag.Duration("drain-timeout", 10*time.Second, "on shutdown, how long running async jobs may finish before being interrupted (journaled for resume; 0: interrupt immediately)")
 		quiet       = flag.Bool("q", false, "suppress per-request logging")
-		smoke       = flag.Bool("smoke", false, "self-check: serve one cold and one warm request, then exit")
+		smoke       = flag.Bool("smoke", false, "self-check: serve one cold and one warm request plus one async job, then exit")
 	)
 	flag.Parse()
 
@@ -80,7 +81,7 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, cfg); err != nil {
+	if err := serve(*addr, cfg, *drainTO); err != nil {
 		fmt.Fprintln(os.Stderr, "thermserve:", err)
 		os.Exit(1)
 	}
@@ -110,8 +111,10 @@ func parseByteSize(s string) (int64, error) {
 	return n * mult, nil
 }
 
-// serve runs the service until SIGINT/SIGTERM, then drains connections.
-func serve(addr string, cfg server.Config) error {
+// serve runs the service until SIGINT/SIGTERM, then drains: async jobs get
+// drainTimeout to finish (stragglers journal "interrupted" records the next
+// start resumes from) before open connections are shut down.
+func serve(addr string, cfg server.Config, drainTimeout time.Duration) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -132,6 +135,8 @@ func serve(addr string, cfg server.Config) error {
 		return err
 	case <-ctx.Done():
 	}
+	fmt.Fprintln(os.Stderr, "thermserve: draining")
+	srv.Drain(drainTimeout)
 	fmt.Fprintln(os.Stderr, "thermserve: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -231,9 +236,54 @@ func runSmoke(cfg server.Config) error {
 		return fmt.Errorf("warm schedule differs from cold:\ncold:\n%s\nwarm:\n%s",
 			cold.Result.Schedule, warm.Result.Schedule)
 	}
-	fmt.Printf("smoke ok: %s cold %.1f ms → warm %.1f ms, warm tier1 %d/%d, schedule %d sessions\n",
+	// Async path: submit the same problem as a job and follow it to done; the
+	// result must match the synchronous answers.
+	body, _ := json.Marshal(smokeRequest)
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("job submit: %v", err)
+	}
+	var sub server.JobSubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		return fmt.Errorf("job submit: status %d, id %q, err %v", resp.StatusCode, sub.ID, err)
+	}
+	var job server.JobStatusResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return fmt.Errorf("job poll: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("job poll: decoding body: %v", err)
+		}
+		if job.State == "done" || job.State == "failed" || job.State == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %q after 30s", sub.ID, job.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if job.State != "done" {
+		return fmt.Errorf("job %s ended %q: %s", sub.ID, job.State, job.Error)
+	}
+	var jobResp server.ScheduleResponse
+	if err := json.Unmarshal(job.Response, &jobResp); err != nil {
+		return fmt.Errorf("job response: %v", err)
+	}
+	if jobResp.Result.Schedule != cold.Result.Schedule {
+		return fmt.Errorf("async schedule differs from sync:\nsync:\n%s\nasync:\n%s",
+			cold.Result.Schedule, jobResp.Result.Schedule)
+	}
+
+	fmt.Printf("smoke ok: %s cold %.1f ms → warm %.1f ms, warm tier1 %d/%d, schedule %d sessions, async job %s done\n",
 		cold.Result.Workload, cold.Timing.TotalMS, warm.Timing.TotalMS,
 		warm.Cache.Tier1Hits, warm.Cache.Tier1Hits+warm.Cache.Tier1Misses,
-		len(warm.Result.Sessions))
+		len(warm.Result.Sessions), sub.ID)
 	return nil
 }

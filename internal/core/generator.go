@@ -63,6 +63,29 @@ type Config struct {
 	// simulations, so the oracle caches stay consistent — everything already
 	// simulated remains memoized and persisted for the retry.
 	Interrupt func() error
+	// Progress, when non-nil, mirrors Interrupt for observation: it is called
+	// once when phase 1 completes and once after every committed session, with
+	// a by-value snapshot of how far the run has got — the schedule service
+	// streams these as job progress events. Calls happen on the generator's
+	// goroutine between simulations; the callback must be fast and must not
+	// call back into the generator. A nil Progress costs one branch per
+	// commit, keeping the serial hot loop allocation-free.
+	Progress func(ProgressInfo)
+}
+
+// ProgressInfo is one generator progress snapshot (see Config.Progress).
+type ProgressInfo struct {
+	// Phase is 1 while the solo-simulation sweep is the latest completed
+	// milestone, 2 once session construction has begun committing.
+	Phase int
+	// Sessions counts committed sessions; CoresScheduled of CoresTotal cores
+	// have landed in one.
+	Sessions       int
+	CoresScheduled int
+	CoresTotal     int
+	// Attempts and Violations mirror the Result counters so far.
+	Attempts   int
+	Violations int
 }
 
 func (c Config) withDefaults() Config {
@@ -224,6 +247,13 @@ func NewGenerator(spec *testspec.Spec, sm *SessionModel, oracle Oracle, cfg Conf
 	return &Generator{spec: spec, sm: sm, oracle: oracle, cfg: cfg}, nil
 }
 
+// progress reports a snapshot through Config.Progress when one is wired.
+func (g *Generator) progress(p ProgressInfo) {
+	if g.cfg.Progress != nil {
+		g.cfg.Progress(p)
+	}
+}
+
 // interrupted polls Config.Interrupt, wrapping a non-nil cause.
 func (g *Generator) interrupted() error {
 	if g.cfg.Interrupt == nil {
@@ -274,6 +304,7 @@ func (g *Generator) Run() (*Result, error) {
 		res.EffectiveTL = worst + 1
 	}
 	tl := res.EffectiveTL
+	g.progress(ProgressInfo{Phase: 1, CoresTotal: n})
 
 	// Phase 2 (lines 8–28): session construction, validation, commit.
 	weights := make([]float64, n)
@@ -354,6 +385,14 @@ func (g *Generator) Run() (*Result, error) {
 			remaining[c] = false
 		}
 		left -= len(ps.cores)
+		g.progress(ProgressInfo{
+			Phase:          2,
+			Sessions:       len(res.Records),
+			CoresScheduled: n - left,
+			CoresTotal:     n,
+			Attempts:       res.Attempts,
+			Violations:     res.Violations,
+		})
 		return true, nil
 	}
 

@@ -245,26 +245,7 @@ func headerBytes(key [32]byte, numBlocks int) []byte {
 // createWithHeader publishes a fresh record file atomically: header written
 // to a temp file in the same directory, fsynced, then renamed into place.
 func createWithHeader(fsys FS, path string, key [32]byte, numBlocks int) error {
-	tmp, err := fsys.CreateTemp(filepath.Dir(path), ".tsoc-tmp-*")
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrStore, err)
-	}
-	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(headerBytes(key, numBlocks)); err != nil {
-		tmp.Close()
-		return fmt.Errorf("%w: writing header: %v", ErrStore, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("%w: %v", ErrStore, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("%w: %v", ErrStore, err)
-	}
-	if err := fsys.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("%w: %v", ErrStore, err)
-	}
-	return nil
+	return createWithRawHeader(fsys, path, headerBytes(key, numBlocks))
 }
 
 // reset truncates the file to zero and writes a fresh header.
@@ -450,45 +431,20 @@ func (c *SystemCache) Put(active []int, temps []float64) error {
 	return nil
 }
 
-// appendLocked writes one encoded record with retries. A partial (torn)
-// write is healed before the retry by truncating the file back to its
-// pre-write size — legal because this handle is the only in-process writer
-// (the cache lock is held) and O_APPEND positioned the write at EOF. If the
-// truncate itself fails the file can no longer be trusted not to carry
-// garbage mid-stream, so the cache flips to memory-only for the rest of its
-// life rather than appending records a future load would discard.
+// appendLocked writes one encoded record with retries and torn-tail healing
+// (see appendWithHeal) — legal because this handle is the only in-process
+// writer (the cache lock is held) and O_APPEND positioned the write at EOF.
+// An unhealable torn tail retires the file handle: the cache flips to
+// memory-only for the rest of its life rather than appending records a
+// future load would discard.
 func (c *SystemCache) appendLocked(buf []byte) error {
-	var lastErr error
-	for attempt := 0; attempt < c.deps.retry.Attempts; attempt++ {
-		if attempt > 0 {
-			c.deps.countRetry()
-			time.Sleep(c.deps.retry.backoff(attempt - 1))
-		}
-		n, err := c.f.Write(buf)
-		if err == nil {
-			return nil
-		}
-		lastErr = err
-		if n > 0 {
-			st, serr := c.f.Stat()
-			var terr error
-			if serr != nil {
-				terr = serr
-			} else {
-				terr = c.f.Truncate(st.Size() - int64(n))
-			}
-			if terr != nil {
-				// Torn bytes we cannot remove: retire the file handle. The
-				// next load truncates the torn tail (CRC), losing only
-				// records this process failed to persist anyway.
-				c.f.Close()
-				c.f = nil
-				c.memOnly = true
-				return fmt.Errorf("append failed (%v); torn-tail truncate failed: %w", err, terr)
-			}
-		}
+	retired, err := appendWithHeal(c.f, c.deps.retry, c.deps.countRetry, buf)
+	if retired {
+		c.f.Close()
+		c.f = nil
+		c.memOnly = true
 	}
-	return lastErr
+	return err
 }
 
 // Len returns the number of cached answers (loaded + appended).

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -280,6 +281,9 @@ type HealthResponse struct {
 	// Store is the persistent store's fault-layer state, absent without a
 	// cache directory.
 	Store *StoreHealthInfo `json:"store,omitempty"`
+	// Jobs is the async-job subsystem's state, including journal health and
+	// drain progress.
+	Jobs *JobsHealthInfo `json:"jobs,omitempty"`
 }
 
 // StoreHealthInfo mirrors oraclestore.StoreHealth for the health endpoint.
@@ -292,6 +296,64 @@ type StoreHealthInfo struct {
 	AppendFailures      int64  `json:"append_failures"`
 	Unpersisted         int64  `json:"unpersisted"`
 	DegradedSystems     int    `json:"degraded_systems"`
+}
+
+// JobSubmitResponse is the POST /v1/jobs reply (202 Accepted).
+type JobSubmitResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// JobStatusResponse is the GET /v1/jobs/{id} reply. Response carries the
+// full ScheduleResponse JSON once the job is done — byte-identical to what
+// the synchronous endpoint's result section would have produced for the same
+// problem, no matter how many restarts the job survived.
+type JobStatusResponse struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Resumed bool   `json:"resumed,omitempty"`
+	Created string `json:"created"`
+	Updated string `json:"updated"`
+	Error   string `json:"error,omitempty"`
+	// Digest is the SHA-256 of the deterministic result section, set on done.
+	Digest      string          `json:"digest,omitempty"`
+	Response    json.RawMessage `json:"response,omitempty"`
+	LastEventID int64           `json:"last_event_id"`
+}
+
+// JobProgressEvent is the data payload of an SSE "progress" event: the
+// generator's coverage plus this run's cache-tier traffic so far.
+type JobProgressEvent struct {
+	Phase          int `json:"phase"`
+	Sessions       int `json:"sessions"`
+	CoresScheduled int `json:"cores_scheduled"`
+	CoresTotal     int `json:"cores_total"`
+	Attempts       int `json:"attempts"`
+	Violations     int `json:"violations"`
+	// Tier deltas since the run began (not since the system was built).
+	Tier1Hits   int64 `json:"tier1_hits"`
+	Tier1Misses int64 `json:"tier1_misses"`
+	Tier2Hits   int64 `json:"tier2_hits"`
+	Tier2Misses int64 `json:"tier2_misses"`
+}
+
+// JobsHealthInfo summarises the async-job subsystem in GET /healthz.
+type JobsHealthInfo struct {
+	Active      int64 `json:"active"`
+	Queued      int64 `json:"queued_total"`
+	Running     int64 `json:"running_total"`
+	Done        int64 `json:"done_total"`
+	Failed      int64 `json:"failed_total"`
+	Cancelled   int64 `json:"cancelled_total"`
+	Interrupted int64 `json:"interrupted_total"`
+	Resumed     int64 `json:"resumed_total"`
+	// Journal is the journal path; MemOnly true means job durability is
+	// degraded (jobs die with the process) while serving continues.
+	Journal        string `json:"journal,omitempty"`
+	JournalMemOnly bool   `json:"journal_mem_only"`
+	AppendRetries  int64  `json:"journal_append_retries"`
+	AppendFailures int64  `json:"journal_append_failures"`
+	Unpersisted    int64  `json:"journal_unpersisted"`
 }
 
 // ErrorResponse is the structured error body every handler returns on

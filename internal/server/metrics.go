@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/oraclestore"
 )
 
@@ -80,6 +81,9 @@ type tierCounters struct {
 	QueueLimit         int // -1 = unbounded
 	// Breaker is the store's fault-layer health, nil without a store.
 	Breaker *oraclestore.StoreHealth
+	// Jobs / JobJournal are the async-job subsystem's counters.
+	Jobs       *jobs.Counters
+	JobJournal *oraclestore.RecordLogStats
 	// Factors describes every live system whose grid factorization has been
 	// paid (fully warm systems never factor and so never appear).
 	Factors []systemFactor
@@ -185,6 +189,39 @@ func (m *metrics) render(tc tierCounters) string {
 	sb.WriteString("# HELP thermserve_systems_dropped_total Idle live systems dropped by the max-systems LRU bound.\n")
 	sb.WriteString("# TYPE thermserve_systems_dropped_total counter\n")
 	fmt.Fprintf(&sb, "thermserve_systems_dropped_total %d\n", tc.SystemsDropped)
+
+	if jc := tc.Jobs; jc != nil {
+		for _, c := range []struct {
+			name, help string
+			v          int64
+		}{
+			{"queued", "Async jobs queued since start (includes resumes).", jc.Queued},
+			{"running", "Async jobs started running since start.", jc.Running},
+			{"done", "Async jobs finished successfully since start.", jc.Done},
+			{"failed", "Async jobs failed since start.", jc.Failed},
+			{"cancelled", "Async jobs cancelled by clients since start.", jc.Cancelled},
+			{"interrupted", "Async jobs interrupted by a drain since start.", jc.Interrupted},
+			{"resumed", "Async jobs re-queued from the journal after a restart.", jc.Resumed},
+		} {
+			fmt.Fprintf(&sb, "# HELP thermserve_jobs_%s_total %s\n", c.name, c.help)
+			fmt.Fprintf(&sb, "# TYPE thermserve_jobs_%s_total counter\n", c.name)
+			fmt.Fprintf(&sb, "thermserve_jobs_%s_total %d\n", c.name, c.v)
+		}
+		sb.WriteString("# HELP thermserve_jobs_active Non-terminal async jobs currently tracked.\n")
+		sb.WriteString("# TYPE thermserve_jobs_active gauge\n")
+		fmt.Fprintf(&sb, "thermserve_jobs_active %d\n", jc.Active)
+	}
+	if js := tc.JobJournal; js != nil {
+		sb.WriteString("# HELP thermserve_jobs_journal_append_retries_total Job-journal appends retried after a disk error.\n")
+		sb.WriteString("# TYPE thermserve_jobs_journal_append_retries_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_jobs_journal_append_retries_total %d\n", js.Retries)
+		sb.WriteString("# HELP thermserve_jobs_journal_append_failures_total Job-journal appends that exhausted their retries.\n")
+		sb.WriteString("# TYPE thermserve_jobs_journal_append_failures_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_jobs_journal_append_failures_total %d\n", js.Failures)
+		sb.WriteString("# HELP thermserve_jobs_journal_unpersisted_total Job state transitions held in RAM only because the journal disk was failing.\n")
+		sb.WriteString("# TYPE thermserve_jobs_journal_unpersisted_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_jobs_journal_unpersisted_total %d\n", js.Unpersisted)
+	}
 
 	if h := tc.Breaker; h != nil {
 		sb.WriteString("# HELP thermserve_store_breaker_state Store circuit breaker state (0=closed, 1=open, 2=half_open).\n")

@@ -38,8 +38,10 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +49,7 @@ import (
 	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/oraclestore"
 	"repro/internal/schedule"
 	"repro/internal/testspec"
@@ -82,6 +85,13 @@ type Config struct {
 	// service — queue wait plus generation; 0 → none. Requests may override
 	// it with the X-Request-Deadline header or the deadline_ms body field.
 	DefaultDeadline time.Duration
+	// JobsJournal is the async-job journal file; empty defaults to
+	// CacheDir/jobs.wal when CacheDir is set, else jobs are tracked in memory
+	// only (no resume across restarts).
+	JobsJournal string
+	// MaxJobs bounds concurrently tracked non-terminal async jobs; beyond it
+	// POST /v1/jobs sheds with 429. 0 → 1024.
+	MaxJobs int
 	// Logf receives one line per served request; nil disables logging.
 	Logf func(format string, args ...any)
 
@@ -101,6 +111,14 @@ type Server struct {
 	store *oraclestore.Store
 	pool  *conc.Pool
 	met   *metrics
+	jobs  *jobs.Manager
+
+	// jobsWG tracks every runJob goroutine; drainMu orders new job admission
+	// against Drain flipping the draining flag, so Drain's Wait cannot race a
+	// late jobsWG.Add.
+	jobsWG   sync.WaitGroup
+	drainMu  sync.Mutex
+	draining atomic.Bool
 
 	mu sync.Mutex
 	// systems keys live environments by system key: the oraclestore content
@@ -178,26 +196,89 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
+
+	journal := cfg.JobsJournal
+	if journal == "" && cfg.CacheDir != "" {
+		journal = filepath.Join(cfg.CacheDir, "jobs.wal")
+	}
+	jm, err := jobs.Open(jobs.Config{
+		Path:    journal,
+		FS:      cfg.StoreFS,
+		Retry:   cfg.StoreRetry,
+		Breaker: cfg.StoreBreaker,
+		Logf:    cfg.Logf,
+	})
+	if err != nil {
+		if s.store != nil {
+			s.store.Close()
+		}
+		return nil, fmt.Errorf("server: opening job journal: %w", err)
+	}
+	s.jobs = jm
+	// Re-queue every job the journal left unfinished (a crash or drain
+	// interrupted them). They regenerate warm: everything their previous run
+	// simulated is already in the store, so the resume replays tier-2 hits
+	// instead of re-simulating.
+	for _, j := range jm.Resumable() {
+		jm.Requeue(j)
+		s.jobsWG.Add(1)
+		go s.runJob(j)
+	}
 	return s, nil
 }
 
-// Close releases the persistent store. In-memory systems keep answering if
-// the handler is still mounted, but nothing persists afterwards.
+// Close closes the job journal and releases the persistent store. In-memory
+// systems keep answering if the handler is still mounted, but nothing
+// persists afterwards. Call Drain first for a graceful shutdown; Close alone
+// leaves running jobs' final transitions unjournaled.
 func (s *Server) Close() error {
-	if s.store == nil {
-		return nil
+	err := s.jobs.Close()
+	if s.store != nil {
+		if serr := s.store.Close(); err == nil {
+			err = serr
+		}
 	}
-	return s.store.Close()
+	return err
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/schedule", s.instrument("/v1/schedule", http.MethodPost, s.handleSchedule))
-	mux.HandleFunc("/v1/systems", s.instrument("/v1/systems", http.MethodGet, s.handleSystems))
-	mux.HandleFunc("/healthz", s.instrument("/healthz", http.MethodGet, s.handleHealthz))
-	mux.HandleFunc("/metrics", s.instrument("/metrics", http.MethodGet, s.handleMetrics))
+	mux.HandleFunc("/v1/schedule", s.instrument("/v1/schedule",
+		route{http.MethodPost, s.handleSchedule}))
+	mux.HandleFunc("/v1/systems", s.instrument("/v1/systems",
+		route{http.MethodGet, s.handleSystems}))
+	mux.HandleFunc("/v1/jobs", s.instrument("/v1/jobs",
+		route{http.MethodPost, s.handleJobSubmit}))
+	// The jobs subtree dispatches on the path shape: /v1/jobs/{id} and
+	// /v1/jobs/{id}/events, instrumented under those stable labels so the
+	// metrics cardinality stays bounded.
+	jobStatus := s.instrument("/v1/jobs/{id}",
+		route{http.MethodGet, s.handleJobGet}, route{http.MethodDelete, s.handleJobDelete})
+	jobEvents := s.instrument("/v1/jobs/{id}/events",
+		route{http.MethodGet, s.handleJobEvents})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		if id, ok := strings.CutSuffix(rest, "/events"); ok && validJobID(id) {
+			jobEvents(w, r)
+			return
+		}
+		if !validJobID(rest) {
+			writeError(w, http.StatusNotFound, "not_found", "no such resource")
+			return
+		}
+		jobStatus(w, r)
+	})
+	mux.HandleFunc("/healthz", s.instrument("/healthz",
+		route{http.MethodGet, s.handleHealthz}))
+	mux.HandleFunc("/metrics", s.instrument("/metrics",
+		route{http.MethodGet, s.handleMetrics}))
 	return mux
+}
+
+// validJobID accepts the ids newID mints: one non-empty path segment.
+func validJobID(id string) bool {
+	return id != "" && !strings.ContainsAny(id, "/")
 }
 
 // statusWriter records the status code for metrics and logging.
@@ -211,16 +292,43 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument enforces the method, records metrics and logs one line per
-// request.
-func (s *Server) instrument(path, method string, h http.HandlerFunc) http.HandlerFunc {
+// Flush forwards to the underlying writer so SSE streams through the
+// instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// route pairs one HTTP method with its handler for instrument.
+type route struct {
+	method string
+	h      http.HandlerFunc
+}
+
+// instrument dispatches on method — rejecting others with 405 and an Allow
+// header listing every supported method — records metrics and logs one line
+// per request.
+func (s *Server) instrument(path string, routes ...route) http.HandlerFunc {
+	methods := make([]string, len(routes))
+	for i, rt := range routes {
+		methods[i] = rt.method
+	}
+	allow := strings.Join(methods, ", ")
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		if r.Method != method {
-			w.Header().Set("Allow", method)
+		h := http.HandlerFunc(nil)
+		for _, rt := range routes {
+			if r.Method == rt.method {
+				h = rt.h
+				break
+			}
+		}
+		if h == nil {
+			w.Header().Set("Allow", allow)
 			writeError(sw, http.StatusMethodNotAllowed, "method_not_allowed",
-				fmt.Sprintf("%s requires %s", path, method))
+				fmt.Sprintf("%s allows %s", path, allow))
 		} else {
 			h(sw, r)
 		}
@@ -404,53 +512,100 @@ func (s *Server) requestDeadline(r *http.Request, req *ScheduleRequest) (time.Du
 	return s.cfg.DefaultDeadline, nil
 }
 
-// handleSchedule serves POST /v1/schedule.
-func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	var req ScheduleRequest
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request body: %v", err))
-		return
-	}
-	deadline, err := s.requestDeadline(r, &req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_deadline", err.Error())
-		return
-	}
+// problem is a fully validated scheduling problem — the shared currency of
+// the synchronous handler and the async job runner.
+type problem struct {
+	spec      *testspec.Spec
+	genCfg    core.Config
+	pkg       thermal.PackageConfig
+	gridRes   int
+	mapKey    [32]byte
+	oracleKey [32]byte
+}
+
+// resolveProblem validates a decoded request into a problem; on failure the
+// returned code is the stable machine-readable error code (HTTP 400).
+func resolveProblem(req *ScheduleRequest) (*problem, string, error) {
 	spec, err := req.resolveSpec()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_workload", err.Error())
-		return
+		return nil, "bad_workload", err
 	}
 	genCfg, err := req.scheduleConfig()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_config", err.Error())
-		return
+		return nil, "bad_config", err
 	}
 	pkg := req.Package.packageConfig()
 	if err := pkg.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_package", err.Error())
-		return
+		return nil, "bad_package", err
 	}
 	mapKey, oracleKey, err := systemKeys(spec, pkg, req.GridRes)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_workload", err.Error())
-		return
+		return nil, "bad_workload", err
 	}
+	return &problem{
+		spec: spec, genCfg: genCfg, pkg: pkg, gridRes: req.GridRes,
+		mapKey: mapKey, oracleKey: oracleKey,
+	}, "", nil
+}
 
-	// The deadline covers everything from here on: system build, queue wait,
-	// generation. The client disconnecting cancels the same context.
-	ctx := r.Context()
-	if deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, deadline)
-		defer cancel()
+// tierSnap is a point-in-time read of one system's cache counters, so a
+// request can report only its own tier traffic as deltas.
+type tierSnap struct{ h, m, sh, sm int64 }
+
+func snapshotTiers(env *experiments.Env) tierSnap {
+	var t tierSnap
+	t.h, t.m = env.Oracle.Stats()
+	if env.StoreCache != nil {
+		t.sh, t.sm = env.StoreCache.Stats()
 	}
+	return t
+}
 
-	entry, warm := s.system(mapKey, oracleKey, spec, pkg, req.GridRes)
-	defer s.release(entry)
+// cacheInfo assembles the response's cache section from the baseline snap.
+func cacheInfo(env *experiments.Env, warm bool, t0 tierSnap) CacheInfo {
+	t1 := snapshotTiers(env)
+	ci := CacheInfo{
+		SystemWarm:     warm,
+		Tier1Hits:      t1.h - t0.h,
+		Tier1Misses:    t1.m - t0.m,
+		Tier2Hits:      t1.sh - t0.sh,
+		Tier2Misses:    t1.sm - t0.sm,
+		GridFactorized: env.Lazy != nil && env.Lazy.Built(),
+	}
+	if env.StoreCache != nil {
+		ci.StoreLoaded = env.StoreCache.Loaded()
+	}
+	return ci
+}
+
+// buildScheduleResult assembles the deterministic result section.
+func buildScheduleResult(req *ScheduleRequest, p *problem, res *core.Result) ScheduleResult {
+	result := ScheduleResult{
+		Workload:         p.spec.Name(),
+		Cores:            p.spec.NumCores(),
+		TL:               req.TL,
+		STCL:             req.STCL,
+		EffectiveTL:      res.EffectiveTL,
+		GridRes:          p.gridRes,
+		Length:           res.Length,
+		Effort:           res.Effort,
+		MaxTemp:          res.MaxTemp,
+		Attempts:         res.Attempts,
+		Violations:       res.Violations,
+		ForcedSingletons: res.ForcedSingletons,
+		Schedule:         schedule.Format(res.Schedule, p.spec),
+		SystemKey:        fmt.Sprintf("%x", p.oracleKey),
+	}
+	for _, sess := range res.Schedule.Sessions() {
+		result.Sessions = append(result.Sessions, sess.Names(p.spec))
+	}
+	return result
+}
+
+// acquireSystem returns the built environment for a problem, building it cold
+// if needed; callers must s.release(entry) when done.
+func (s *Server) acquireSystem(p *problem) (entry *systemEntry, env *experiments.Env, warm bool, err error) {
+	entry, warm = s.system(p.mapKey, p.oracleKey, p.spec, p.pkg, p.gridRes)
 	entry.once.Do(func() {
 		env, err := entry.bld()
 		s.mu.Lock()
@@ -463,16 +618,56 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	env, buildErr := entry.env, entry.err
 	s.mu.Unlock()
 	if buildErr != nil {
-		s.dropSystem(mapKey, entry)
-		writeError(w, http.StatusInternalServerError, "system_build_failed", buildErr.Error())
+		s.dropSystem(p.mapKey, entry)
+		s.release(entry)
+		return nil, nil, warm, buildErr
+	}
+	return entry, env, warm, nil
+}
+
+// handleSchedule serves POST /v1/schedule.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			"server is draining; not admitting new work")
+		return
+	}
+	var req ScheduleRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request body: %v", err))
+		return
+	}
+	deadline, err := s.requestDeadline(r, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_deadline", err.Error())
+		return
+	}
+	p, code, err := resolveProblem(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, code, err.Error())
 		return
 	}
 
-	h0, m0 := env.Oracle.Stats()
-	var sh0, sm0 int64
-	if env.StoreCache != nil {
-		sh0, sm0 = env.StoreCache.Stats()
+	// The deadline covers everything from here on: system build, queue wait,
+	// generation. The client disconnecting cancels the same context.
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
 	}
+
+	entry, env, warm, err := s.acquireSystem(p)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "system_build_failed", err.Error())
+		return
+	}
+	defer s.release(entry)
+
+	t0 := snapshotTiers(env)
 
 	var (
 		res      *core.Result
@@ -484,7 +679,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if err := s.pool.TryDo(ctx, func() {
 		queueDur = time.Since(queued)
 		t0 := time.Now()
-		res, genErr = env.GenerateContext(ctx, genCfg)
+		res, genErr = env.GenerateContext(ctx, p.genCfg)
 		genDur = time.Since(t0)
 	}); err != nil {
 		switch {
@@ -531,48 +726,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	h1, m1 := env.Oracle.Stats()
-	var sh1, sm1 int64
-	if env.StoreCache != nil {
-		sh1, sm1 = env.StoreCache.Stats()
-	}
-	result := ScheduleResult{
-		Workload:         spec.Name(),
-		Cores:            spec.NumCores(),
-		TL:               req.TL,
-		STCL:             req.STCL,
-		EffectiveTL:      res.EffectiveTL,
-		GridRes:          req.GridRes,
-		Length:           res.Length,
-		Effort:           res.Effort,
-		MaxTemp:          res.MaxTemp,
-		Attempts:         res.Attempts,
-		Violations:       res.Violations,
-		ForcedSingletons: res.ForcedSingletons,
-		Schedule:         schedule.Format(res.Schedule, spec),
-		SystemKey:        fmt.Sprintf("%x", oracleKey),
-	}
-	for _, sess := range res.Schedule.Sessions() {
-		result.Sessions = append(result.Sessions, sess.Names(spec))
-	}
 	resp := ScheduleResponse{
-		Result: result,
-		Cache: CacheInfo{
-			SystemWarm:     warm,
-			Tier1Hits:      h1 - h0,
-			Tier1Misses:    m1 - m0,
-			Tier2Hits:      sh1 - sh0,
-			Tier2Misses:    sm1 - sm0,
-			GridFactorized: env.Lazy != nil && env.Lazy.Built(),
-		},
+		Result: buildScheduleResult(&req, p, res),
+		Cache:  cacheInfo(env, warm, t0),
 		Timing: TimingInfo{
 			QueueMS:    float64(queueDur) / float64(time.Millisecond),
 			GenerateMS: float64(genDur) / float64(time.Millisecond),
 			TotalMS:    float64(time.Since(start)) / float64(time.Millisecond),
 		},
-	}
-	if env.StoreCache != nil {
-		resp.Cache.StoreLoaded = env.StoreCache.Loaded()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -644,6 +805,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp.SystemsLive = len(s.systems)
 	s.mu.Unlock()
 	resp.MaxSystems = s.cfg.MaxSystems
+	jc := s.jobs.Counts()
+	js := s.jobs.JournalStats()
+	resp.Jobs = &JobsHealthInfo{
+		Active:         jc.Active,
+		Queued:         jc.Queued,
+		Running:        jc.Running,
+		Done:           jc.Done,
+		Failed:         jc.Failed,
+		Cancelled:      jc.Cancelled,
+		Interrupted:    jc.Interrupted,
+		Resumed:        jc.Resumed,
+		Journal:        s.jobs.JournalPath(),
+		JournalMemOnly: js.MemOnly,
+		AppendRetries:  js.Retries,
+		AppendFailures: js.Failures,
+		Unpersisted:    js.Unpersisted,
+	}
 	if s.store != nil {
 		s.store.Probe()
 		h := s.store.Health()
@@ -660,6 +838,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		if h.Breaker != oraclestore.BreakerClosed || h.DegradedSystems > 0 {
 			resp.Status = "degraded"
 		}
+	}
+	// Draining trumps degraded: the server is deliberately refusing new work,
+	// which is what a load balancer most needs to know.
+	if s.draining.Load() {
+		resp.Status = "draining"
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -698,6 +881,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	tc.SystemsDropped = s.systemsDropped.Load()
 	tc.QueueDepth = s.pool.Queued()
 	tc.QueueLimit = s.pool.QueueDepth()
+	jc := s.jobs.Counts()
+	tc.Jobs = &jc
+	js := s.jobs.JournalStats()
+	tc.JobJournal = &js
 	if s.store != nil {
 		if st, err := s.store.Stats(); err == nil {
 			tc.StoreFiles = st.Files

@@ -225,9 +225,14 @@ func TestHandlersRejectWrongMethods(t *testing.T) {
 		method, path, allow string
 	}{
 		{http.MethodGet, "/v1/schedule", http.MethodPost},
+		{http.MethodDelete, "/v1/schedule", http.MethodPost},
 		{http.MethodPost, "/v1/systems", http.MethodGet},
 		{http.MethodPost, "/healthz", http.MethodGet},
 		{http.MethodDelete, "/metrics", http.MethodGet},
+		{http.MethodPut, "/v1/jobs", http.MethodPost},
+		{http.MethodPatch, "/v1/jobs/0123456789abcdef", "GET, DELETE"},
+		{http.MethodPost, "/v1/jobs/0123456789abcdef", "GET, DELETE"},
+		{http.MethodDelete, "/v1/jobs/0123456789abcdef/events", http.MethodGet},
 	}
 	for _, tc := range cases {
 		t.Run(tc.method+" "+tc.path, func(t *testing.T) {
