@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -507,31 +508,62 @@ func BenchmarkGridSteadyState(b *testing.B) {
 // with the numeric factorization alone reported as numeric_ms. The scalar
 // and supernodal kernels share everything outside the numeric phase and
 // produce bit-identical factors, so numeric_ms is a pure execution-strategy
-// comparison; n131k is the 256×256 tentpole rung.
+// comparison; n131k is the 256×256 tentpole rung. The 1024×1024 rung
+// (n2097k, ~2.1M nodes) factors out of core under a 3 GiB peak-bytes budget
+// and takes minutes — it only runs with THERM_BENCH_1024=1, supernodal only.
 func BenchmarkGridFactor(b *testing.B) {
 	for _, c := range []struct {
 		name string
 		res  int
+		opts thermal.GridOptions
 	}{
-		{"n33k", 128},
-		{"n131k", 256},
+		{"n33k", 128, thermal.GridOptions{}},
+		{"n131k", 256, thermal.GridOptions{}},
+		{"n2097k", 1024, thermal.GridOptions{FillBudget: 1 << 29, PeakBytesBudget: 3 << 30}},
 	} {
+		gated := c.res >= 1024
 		for _, mode := range []linalg.FactorMode{linalg.FactorSupernodal, linalg.FactorScalar} {
+			if gated && mode == linalg.FactorScalar {
+				continue // the scalar kernel has no out-of-core mode
+			}
 			b.Run(c.name+"/"+mode.String(), func(b *testing.B) {
+				if gated && os.Getenv("THERM_BENCH_1024") == "" {
+					b.Skip("set THERM_BENCH_1024=1 to run the 1024×1024 rung (minutes)")
+				}
 				fp := thermalsched.Alpha21364Floorplan()
+				opts := c.opts
+				opts.Factor = mode
+				if opts.PeakBytesBudget > 0 {
+					opts.SpillDir = b.TempDir()
+				}
 				var numeric time.Duration
+				var fs thermal.GridFactorStats
 				for i := 0; i < b.N; i++ {
 					gm, err := thermal.NewGridModelWithOptions(fp, thermalsched.DefaultPackage(),
-						c.res, c.res, thermal.GridOptions{Factor: mode})
+						c.res, c.res, opts)
 					if err != nil {
 						b.Fatal(err)
 					}
 					if got := gm.SolverBackend(); got != "sparse-cholesky" {
 						b.Fatalf("backend = %q, want sparse-cholesky", got)
 					}
-					numeric += gm.FactorStats().FactorTime
+					fs = gm.FactorStats()
+					numeric += fs.FactorTime
+					if err := gm.Close(); err != nil {
+						b.Fatal(err)
+					}
 				}
 				b.ReportMetric(float64(numeric.Microseconds())/1e3/float64(b.N), "numeric_ms")
+				if opts.PeakBytesBudget > 0 {
+					if fs.SpillDegraded {
+						b.Fatalf("spill degraded: %+v", fs)
+					}
+					if fs.PeakResidentBytes > opts.PeakBytesBudget {
+						b.Fatalf("peak resident %d exceeds budget %d", fs.PeakResidentBytes, opts.PeakBytesBudget)
+					}
+					b.ReportMetric(float64(fs.SpilledPanels), "spilled_panels")
+					b.ReportMetric(float64(fs.PeakResidentBytes)/(1<<20), "peak_resident_mb")
+				}
 			})
 		}
 	}

@@ -11,10 +11,13 @@
 //	benchreport -history                          # markdown trend table over BENCH_*.json
 //
 // The gate only inspects tier-1 benchmarks (see tier1Prefixes): a fresh
-// ns/op more than -maxregress above the committed one fails the gate.
-// Custom benchmark metrics (speedup_x, warm_ms, numeric_ms, ...) ride along
-// in the report for human inspection but are never gated — they are ratios
-// or absolute temperatures whose noise characteristics differ per metric.
+// ns/op more than -maxregress above the committed one fails the gate. Key
+// custom metrics (numeric_ms, warm_ms, cold_ms, warm_job_ms, speedup_x,
+// ns/query) are gated too, each with its own noise floor and tolerance (see
+// metricGates) — service-path latencies swing far more between runs than
+// factorization times, so one global threshold fits none of them. Metrics
+// outside that list (temperatures, claim flags, spill gauges, ...) ride
+// along in the report for human inspection only.
 package main
 
 import (
@@ -239,6 +242,70 @@ func readReport(path string) (*Report, error) {
 	return &rep, nil
 }
 
+// metricGate is the regression policy for one gated custom metric.
+type metricGate struct {
+	// floor is the noise cutoff: when old and new are both below it, the
+	// metric is too small to compare meaningfully and is skipped.
+	floor float64
+	// higherBetter flips the comparison for ratio metrics like speedup_x,
+	// where a *smaller* fresh value is the regression.
+	higherBetter bool
+	// maxRegress is the tolerated fractional change in the losing direction.
+	maxRegress float64
+}
+
+// metricGates lists the custom metrics the gate enforces on tier-1
+// benchmarks, with per-metric noise floors and tolerances calibrated from
+// the committed BENCH_* history: numeric factorization times repeat within a
+// few percent, while the warm service paths (store + HTTP + scheduler) have
+// swung ±70% between otherwise-identical runs.
+var metricGates = map[string]metricGate{
+	"numeric_ms":  {floor: 1, maxRegress: 0.30},
+	"cold_ms":     {floor: 20, maxRegress: 0.75},
+	"warm_ms":     {floor: 1, maxRegress: 1.0},
+	"warm_job_ms": {floor: 1, maxRegress: 1.0},
+	"speedup_x":   {floor: 2, higherBetter: true, maxRegress: 0.50},
+	"ns/query":    {floor: 1e5, maxRegress: 0.35},
+}
+
+// gateMetrics compares the gated custom metrics of one tier-1 benchmark and
+// returns failure descriptions. A metric missing from either side is skipped
+// (metrics come and go across PRs, like benchmarks do).
+func gateMetrics(name string, oldM, newM map[string]float64) []string {
+	keys := make([]string, 0, len(newM))
+	for k := range newM {
+		if _, gated := metricGates[k]; gated {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var failures []string
+	for _, k := range keys {
+		g := metricGates[k]
+		ov, ok := oldM[k]
+		if !ok {
+			continue
+		}
+		nv := newM[k]
+		if ov < g.floor && nv < g.floor {
+			continue // both in the noise
+		}
+		if ov <= 0 {
+			continue
+		}
+		ratio := nv / ov
+		bad := ratio > 1+g.maxRegress
+		if g.higherBetter {
+			bad = ratio < 1/(1+g.maxRegress)
+		}
+		if bad {
+			failures = append(failures, fmt.Sprintf("%s %s: %.3g -> %.3g (%+.1f%%)",
+				name, k, ov, nv, 100*(ratio-1)))
+		}
+	}
+	return failures
+}
+
 // tier1 reports whether a benchmark is under the regression gate.
 func tier1(name string) bool {
 	for _, p := range tier1Prefixes {
@@ -277,6 +344,10 @@ func gate(oldRep, newRep *Report, maxRegress float64, oldName, newName string) e
 			regressed = append(regressed, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
 				nb.Name, ob.NsPerOp, nb.NsPerOp, 100*(ratio-1)))
 		}
+		if mf := gateMetrics(nb.Name, ob.Metrics, nb.Metrics); len(mf) > 0 {
+			status = "REGRESSED"
+			regressed = append(regressed, mf...)
+		}
 		fmt.Printf("%-9s %-55s %14.0f -> %14.0f ns/op (%+.1f%%)\n",
 			status, nb.Name, ob.NsPerOp, nb.NsPerOp, 100*(ratio-1))
 	}
@@ -284,9 +355,9 @@ func gate(oldRep, newRep *Report, maxRegress float64, oldName, newName string) e
 		return fmt.Errorf("no tier-1 benchmarks shared between %s and %s", oldName, newName)
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("%d tier-1 benchmark(s) regressed past +%.0f%%:\n  %s",
+		return fmt.Errorf("%d tier-1 regression(s) past the gate thresholds (ns/op +%.0f%%, metrics per metricGates):\n  %s",
 			len(regressed), 100*maxRegress, strings.Join(regressed, "\n  "))
 	}
-	fmt.Printf("bench gate: %d tier-1 benchmarks within +%.0f%% of %s\n", checked, 100*maxRegress, oldName)
+	fmt.Printf("bench gate: %d tier-1 benchmarks within +%.0f%% (and metric gates) of %s\n", checked, 100*maxRegress, oldName)
 	return nil
 }

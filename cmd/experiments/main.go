@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/oraclestore"
@@ -39,6 +40,8 @@ type options struct {
 	factors    []linalg.FactorMode
 	panel      linalg.SupernodalOptions
 	fillBudget int
+	peakBytes  int64
+	spillDir   string
 	cacheDir   string
 	gridOracle int
 	fleetSize  int
@@ -48,7 +51,7 @@ type options struct {
 // grid returns the solver options every grid model of this run is built with.
 // A zero-valued options (no parsed -factor flag) means FactorAuto.
 func (o options) grid() thermal.GridOptions {
-	g := thermal.GridOptions{Panel: o.panel}
+	g := thermal.GridOptions{Panel: o.panel, PeakBytesBudget: o.peakBytes, SpillDir: o.spillDir}
 	if len(o.factors) > 0 {
 		g.Factor = o.factors[0]
 	}
@@ -75,8 +78,13 @@ func main() {
 				"Kernels are bit-identical — this only changes execution strategy")
 		supernodal = flag.Bool("supernodal", true,
 			"shorthand for -factor scalar when false; kept for scripting symmetry with cmd/thermsim")
-		panelWidth = flag.Int("panel", 0,
-			"max supernodal panel width in columns (0 = default 32)")
+		panelWidth = flag.String("panel", "",
+			"max supernodal panel width in columns: a positive integer, \"auto\" to micro-calibrate for the host, or empty for the default")
+		peakBytes = flag.String("peak-bytes", "",
+			"grid factorization peak memory with optional K/M/G suffix, e.g. 2G; "+
+				"over it, factor panels spill to disk and stream back during solves (empty: unbounded)")
+		spillDir = flag.String("spill-dir", "",
+			"directory for out-of-core factor panel files (empty: os.TempDir)")
 		relax = flag.Float64("relax", -1,
 			"relaxed-amalgamation pad budget as a fraction of a panel's packed entries "+
 				"(negative = default 0.10, 0 disables padding)")
@@ -107,6 +115,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	width, err := cliutil.ParsePanelWidth(*panelWidth)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -panel:", err)
+		os.Exit(1)
+	}
+	peak, err := cliutil.ParseByteSize(*peakBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -peak-bytes:", err)
+		os.Exit(1)
+	}
 
 	// Profiles are finalized before any exit path below: a profile of a
 	// *failing* run is precisely when you want readable pprof output, so
@@ -131,8 +149,10 @@ func main() {
 		gridres:    ladder,
 		orderings:  orderings,
 		factors:    factors,
-		panel:      panelOptions(*panelWidth, *relax),
+		panel:      panelOptions(width, *relax),
 		fillBudget: *fillBudget,
+		peakBytes:  peak,
+		spillDir:   *spillDir,
 		cacheDir:   *cacheDir,
 		gridOracle: *gridOracle,
 		fleetSize:  *fleetSize,
@@ -372,6 +392,8 @@ func run(which string, opts options) error {
 			FillBudget: opts.fillBudget,
 			Factors:    opts.factors,
 			Panel:      opts.panel,
+			PeakBytes:  opts.peakBytes,
+			SpillDir:   opts.spillDir,
 		})
 		if err != nil {
 			return err

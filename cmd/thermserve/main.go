@@ -20,6 +20,11 @@
 // or deadline_ms), and -max-systems bounds the live in-RAM system map by
 // LRU-dropping idle entries. /healthz reports ok|degraded with store breaker
 // state and queue occupancy.
+//
+// Memory discipline: -peak-bytes caps each grid system's resident
+// factorization working set (finished factor panels spill to -spill-dir and
+// stream back during solves, bit-identical), and -panel auto micro-calibrates
+// the supernodal panel width for the host.
 package main
 
 import (
@@ -33,12 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/server"
+	"repro/internal/thermal"
 )
 
 func main() {
@@ -51,16 +56,31 @@ func main() {
 		maxSystems  = flag.Int("max-systems", 0, "max live simulated systems in RAM, LRU-dropping idle ones (0: unbounded)")
 		deadline    = flag.Duration("deadline", 0, "default per-request deadline, e.g. 2s (0: none; clients override via X-Request-Deadline or deadline_ms)")
 		drainTO     = flag.Duration("drain-timeout", 10*time.Second, "on shutdown, how long running async jobs may finish before being interrupted (journaled for resume; 0: interrupt immediately)")
+		peakBytes   = flag.String("peak-bytes", "", "per-system peak factorization memory with optional K/M/G suffix, e.g. 2G; over it, factor panels spill to disk (empty: unbounded)")
+		spillDir    = flag.String("spill-dir", "", "directory for out-of-core factor panel files (empty: os.TempDir)")
+		panel       = flag.String("panel", "", "supernodal panel width: a positive integer, \"auto\" to micro-calibrate for the host, or empty for the default")
 		quiet       = flag.Bool("q", false, "suppress per-request logging")
 		smoke       = flag.Bool("smoke", false, "self-check: serve one cold and one warm request plus one async job, then exit")
 	)
 	flag.Parse()
 
-	budget, err := parseByteSize(*storeBudget)
+	budget, err := cliutil.ParseByteSize(*storeBudget)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "thermserve:", err)
+		fmt.Fprintln(os.Stderr, "thermserve: -store-budget:", err)
 		os.Exit(1)
 	}
+	peak, err := cliutil.ParseByteSize(*peakBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermserve: -peak-bytes:", err)
+		os.Exit(1)
+	}
+	panelWidth, err := cliutil.ParsePanelWidth(*panel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermserve: -panel:", err)
+		os.Exit(1)
+	}
+	grid := thermal.GridOptions{PeakBytesBudget: peak, SpillDir: *spillDir}
+	grid.Panel.MaxPanel = panelWidth
 	cfg := server.Config{
 		CacheDir:        *cacheDir,
 		StoreBudget:     budget,
@@ -68,6 +88,7 @@ func main() {
 		QueueDepth:      *queueDepth,
 		MaxSystems:      *maxSystems,
 		DefaultDeadline: *deadline,
+		Grid:            grid,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
@@ -85,30 +106,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "thermserve:", err)
 		os.Exit(1)
 	}
-}
-
-// parseByteSize reads "262144", "256K", "64M" or "2G" (case-insensitive,
-// optional trailing "B") into bytes; empty means unbounded (0).
-func parseByteSize(s string) (int64, error) {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return 0, nil
-	}
-	u := strings.TrimSuffix(strings.ToUpper(s), "B")
-	mult := int64(1)
-	switch {
-	case strings.HasSuffix(u, "K"):
-		mult, u = 1<<10, strings.TrimSuffix(u, "K")
-	case strings.HasSuffix(u, "M"):
-		mult, u = 1<<20, strings.TrimSuffix(u, "M")
-	case strings.HasSuffix(u, "G"):
-		mult, u = 1<<30, strings.TrimSuffix(u, "G")
-	}
-	n, err := strconv.ParseInt(u, 10, 64)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("invalid -store-budget %q (want e.g. 262144, 256K, 64M)", s)
-	}
-	return n * mult, nil
 }
 
 // serve runs the service until SIGINT/SIGTERM, then drains: async jobs get

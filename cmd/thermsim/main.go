@@ -35,10 +35,12 @@ func main() {
 		supernodal = flag.Bool("supernodal", true,
 			"factor the grid model with the panel-blocked supernodal kernel "+
 				"(false = scalar reference kernel; both produce bit-identical factors)")
-		panelWidth = flag.Int("panel", 0, "max supernodal panel width in columns (0 = default 32)")
+		panelWidth = flag.String("panel", "", "max supernodal panel width in columns: a positive integer, \"auto\" to micro-calibrate for the host, or empty for the default")
 		relax      = flag.Float64("relax", -1,
 			"relaxed-amalgamation pad budget as a fraction of a panel's packed entries "+
 				"(negative = default 0.10, 0 disables padding)")
+		peakBytes = flag.String("peak-bytes", "", "grid factorization peak memory with optional K/M/G suffix, e.g. 2G; over it, factor panels spill to disk (empty: unbounded)")
+		spillDir  = flag.String("spill-dir", "", "directory for out-of-core factor panel files (empty: os.TempDir)")
 	)
 	flag.Parse()
 
@@ -47,11 +49,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "thermsim:", err)
 		os.Exit(1)
 	}
+	width, err := cliutil.ParsePanelWidth(*panelWidth)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim: -panel:", err)
+		os.Exit(1)
+	}
+	peak, err := cliutil.ParseByteSize(*peakBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim: -peak-bytes:", err)
+		os.Exit(1)
+	}
 	factor := linalg.FactorAuto
 	if !*supernodal {
 		factor = linalg.FactorScalar
 	}
-	panel := linalg.SupernodalOptions{MaxPanel: *panelWidth}
+	panel := linalg.SupernodalOptions{MaxPanel: width}
 	switch {
 	case *relax < 0: // keep the canonical default ratio
 	case *relax == 0:
@@ -59,7 +71,10 @@ func main() {
 	default:
 		panel.RelaxRatio = *relax
 	}
-	gopts := thermal.GridOptions{Ordering: ord, FillBudget: *gridFill, Factor: factor, Panel: panel}
+	gopts := thermal.GridOptions{
+		Ordering: ord, FillBudget: *gridFill, Factor: factor, Panel: panel,
+		PeakBytesBudget: peak, SpillDir: *spillDir,
+	}
 	if err := run(*workload, *flpPath, *specPath, *activeStr, *transient, *duration, *step, *grid, gopts); err != nil {
 		fmt.Fprintln(os.Stderr, "thermsim:", err)
 		os.Exit(1)
@@ -121,6 +136,13 @@ func run(workload, flpPath, specPath, activeStr string, transient bool, duration
 			} else {
 				fmt.Printf("factor: %s kernel, %v numeric, %d nnz, batch width %d\n",
 					fs.Mode, fs.FactorTime.Round(time.Microsecond), fs.FactorNNZ, fs.BatchWidth)
+			}
+			switch {
+			case fs.SpilledPanels > 0:
+				fmt.Printf("spill: %d panels (%d bytes) out of core, peak resident %d of %d bytes\n",
+					fs.SpilledPanels, fs.SpilledBytes, fs.PeakResidentBytes, fs.PeakFactorBytes)
+			case fs.SpillDegraded:
+				fmt.Println("spill: degraded — spill device failed, factored in core (budget waived)")
 			}
 			fmt.Print(gres.Heatmap())
 		}

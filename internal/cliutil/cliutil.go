@@ -1,15 +1,62 @@
-// Package cliutil holds the workload-loading logic shared by the command
-// line tools: resolving builtin workloads by name or reading floorplan and
-// test-spec files from disk.
+// Package cliutil holds the workload-loading and flag-parsing logic shared
+// by the command line tools: resolving builtin workloads by name, reading
+// floorplan and test-spec files from disk, and the shared flag syntaxes
+// (byte sizes, panel widths).
 package cliutil
 
 import (
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/floorplan"
+	"repro/internal/linalg"
 	"repro/internal/testspec"
 )
+
+// ParseByteSize reads "262144", "256K", "64M" or "2G" (case-insensitive,
+// optional trailing "B") into bytes; empty means unbounded (0). The shared
+// syntax of -store-budget and -peak-bytes.
+func ParseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	u := strings.TrimSuffix(strings.ToUpper(s), "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "K"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "K")
+	case strings.HasSuffix(u, "M"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "M")
+	case strings.HasSuffix(u, "G"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "G")
+	}
+	n, err := strconv.ParseInt(u, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q (want e.g. 262144, 256K, 64M)", s)
+	}
+	return n * mult, nil
+}
+
+// ParsePanelWidth reads a -panel flag value: "" or "0" selects the host
+// default, "auto" the measured micro-calibration (linalg.PanelWidthAuto),
+// and a positive integer an explicit width.
+func ParsePanelWidth(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	switch s {
+	case "", "0":
+		return 0, nil
+	case "auto":
+		return linalg.PanelWidthAuto, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("invalid panel width %q (want a positive integer or \"auto\")", s)
+	}
+	return n, nil
+}
 
 // BuiltinWorkloads lists the workload names LoadWorkload accepts without
 // files.

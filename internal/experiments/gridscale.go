@@ -30,6 +30,10 @@ type GridScalePoint struct {
 	BatchTime  time.Duration // the same sessions through one SteadyStateBatch call
 	Queries    int           // session count
 	PeakT      float64       // hottest cell over all sessions, °C
+	// Out-of-core factorization under a peak-bytes budget.
+	SpilledPanels int   // factor panels spilled to disk (0 in core)
+	SpilledBytes  int64 // bytes written to the spill file
+	PeakResident  int64 // peak resident factorization bytes
 }
 
 // PerQuery returns the amortized per-session solve time on the per-query
@@ -76,6 +80,12 @@ type GridScaleOptions struct {
 	// Panel tunes the supernodal panel geometry (zero value = canonical
 	// defaults); ignored by the scalar kernel.
 	Panel linalg.SupernodalOptions
+	// PeakBytes caps each rung's resident factorization working set; over it,
+	// finished factor panels spill to SpillDir and stream back during solves
+	// (bit-identical). 0 = unbounded.
+	PeakBytes int64
+	// SpillDir roots the out-of-core panel files; empty = os.TempDir.
+	SpillDir string
 }
 
 // RunGridScale generates the TL=165/STCL=60 Table 1 schedule in env, then
@@ -112,7 +122,8 @@ func RunGridScale(env *Env, resolutions []int, opts GridScaleOptions) (*GridScal
 				start := time.Now()
 				gm, err := thermal.NewGridModelWithOptions(env.Spec.Floorplan(), env.Model.Config(), r, r,
 					thermal.GridOptions{Ordering: ord, FillBudget: opts.FillBudget,
-						Factor: fm, Panel: opts.Panel})
+						Factor: fm, Panel: opts.Panel,
+						PeakBytesBudget: opts.PeakBytes, SpillDir: opts.SpillDir})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %d×%d grid: %w", r, r, err)
 				}
@@ -129,6 +140,10 @@ func RunGridScale(env *Env, resolutions []int, opts GridScaleOptions) (*GridScal
 					BuildTime:  time.Since(start),
 					FactorTime: fs.FactorTime,
 					Queries:    len(sessions),
+
+					SpilledPanels: fs.SpilledPanels,
+					SpilledBytes:  fs.SpilledBytes,
+					PeakResident:  fs.PeakResidentBytes,
 				}
 				pms := make([][]float64, 0, len(sessions))
 				peaks := make([]float64, 0, len(sessions))
@@ -178,11 +193,16 @@ func (g *GridScaleResult) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Grid-resolution ladder — Table 1 schedule (TL=%.0f, STCL=%.0f, %d sessions) on n×n grids\n",
 		g.TL, g.STCL, g.Sessions)
-	fmt.Fprintf(&sb, "%6s %5s %10s %8s %9s %10s %7s %16s %12s %12s %12s %12s %9s\n",
-		"grid", "ord", "kernel", "nodes", "nnz", "factor", "panels", "backend", "build", "numeric", "per-query", "batch/query", "peak °C")
+	fmt.Fprintf(&sb, "%6s %5s %10s %8s %9s %10s %7s %7s %10s %16s %12s %12s %12s %12s %9s\n",
+		"grid", "ord", "kernel", "nodes", "nnz", "factor", "panels", "spilled", "resident", "backend", "build", "numeric", "per-query", "batch/query", "peak °C")
 	for _, p := range g.Points {
-		fmt.Fprintf(&sb, "%3dx%-3d %5s %10s %8d %9d %10d %7d %16s %12s %12s %12s %12s %9.2f\n",
-			p.Res, p.Res, p.Ordering, p.Factor, p.Nodes, p.NNZ, p.FactorNNZ, p.Panels, p.Backend,
+		resident := "-"
+		if p.SpilledPanels > 0 {
+			resident = fmt.Sprintf("%d", p.PeakResident)
+		}
+		fmt.Fprintf(&sb, "%3dx%-3d %5s %10s %8d %9d %10d %7d %7d %10s %16s %12s %12s %12s %12s %9.2f\n",
+			p.Res, p.Res, p.Ordering, p.Factor, p.Nodes, p.NNZ, p.FactorNNZ, p.Panels,
+			p.SpilledPanels, resident, p.Backend,
 			p.BuildTime.Round(time.Microsecond), p.FactorTime.Round(time.Microsecond),
 			p.PerQuery().Round(time.Microsecond),
 			p.PerQueryBatched().Round(time.Microsecond), p.PeakT)

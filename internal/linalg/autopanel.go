@@ -1,0 +1,86 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// PanelWidthAuto, set as SupernodalOptions.MaxPanel, requests a measured
+// panel width: the first Supernodes call micro-calibrates against the host
+// (AutoPanelWidth) and every later call reuses the result. The sentinel
+// survives Canonical unchanged so that option canonicalization — which runs
+// inside store-key derivation — stays free of measurement side effects.
+const PanelWidthAuto = -1
+
+// DefaultPanelWidth returns the static panel-width default for a
+// factorization bounded to the given worker count (0 = GOMAXPROCS). Serial
+// factorization is memory-traffic-bound and measures fastest with narrow
+// panels (the 256×256 sweep shows 8 beating 32 by ~17% on one core); with
+// real parallelism wider panels win by giving the etree scheduler
+// coarser-grained tasks and fewer panel loads per worker.
+func DefaultPanelWidth(workers int) int {
+	if workers == 1 || (workers <= 0 && runtime.GOMAXPROCS(0) == 1) {
+		return 8
+	}
+	return 32
+}
+
+var autoPanel struct {
+	once  sync.Once
+	width int
+}
+
+// AutoPanelWidth measures, once per process, which candidate panel width
+// factors a small model problem fastest on this host and returns it. The
+// probe is a 64×64 five-point grid Laplacian — the same structure class as
+// the thermal grids, small enough (~60 ms total) to amortize over a single
+// real factorization — timed serially (best of three per width) so the
+// result reflects per-core kernel behavior, not scheduler luck. Any probe
+// failure falls back to DefaultPanelWidth.
+func AutoPanelWidth() int {
+	autoPanel.once.Do(func() { autoPanel.width = calibratePanelWidth() })
+	return autoPanel.width
+}
+
+func calibratePanelWidth() int {
+	const nx = 64
+	b := NewSparseBuilder(nx * nx)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < nx; j++ {
+			a := i*nx + j
+			if j+1 < nx {
+				b.AddConductance(a, a+1, 1.0)
+			}
+			if i+1 < nx {
+				b.AddConductance(a, a+nx, 1.0)
+			}
+			b.AddGround(a, 0.5) // strictly diagonally dominant → SPD
+		}
+	}
+	s := b.Build()
+	sym, err := NewCholSymbolic(s, nil)
+	if err != nil {
+		return DefaultPanelWidth(0)
+	}
+	best, bestT := 0, time.Duration(0)
+	for _, w := range [...]int{8, 16, 32} {
+		ss := sym.Supernodes(SupernodalOptions{MaxPanel: w, Workers: 1})
+		var minT time.Duration
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			if _, err := ss.Factorize(s); err != nil {
+				return DefaultPanelWidth(0)
+			}
+			if d := time.Since(t0); rep == 0 || d < minT {
+				minT = d
+			}
+		}
+		// Strict < with ascending candidates: ties go to the narrower width
+		// (smaller frontal scratch).
+		if best == 0 || minT < bestT {
+			best, bestT = w, minT
+		}
+	}
+	return best
+}

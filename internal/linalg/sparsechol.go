@@ -184,7 +184,7 @@ func (sym *CholSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
 		return nil, fmt.Errorf("%w: matrix pattern differs from the symbolic analysis", ErrShape)
 	}
 	n := sym.n
-	ch := sym.newFactor(nil)
+	ch := sym.newFactor(nil, true)
 
 	// Up-looking factorization (Davis, "Direct Methods for Sparse Linear
 	// Systems", cs_chol): for each row k, ereach gives the pattern of
@@ -257,21 +257,31 @@ func (sym *CholSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
 // row indices ascending. It is immutable after construction and safe for
 // concurrent solves: the permuted work vector each solve needs comes from an
 // internal pool, so SolveInto allocates nothing in steady state.
+//
+// An out-of-core factor (built by FactorizeSpill) stores values per panel in
+// segs instead of the flat lx, with evicted panels living in the spill file
+// and streamed back per solve pass; all solve entry points answer
+// bit-identically either way. Close such a factor to release the spill file.
 type SparseCholesky struct {
 	sym      *CholSymbolic
 	panels   *SuperSymbolic // non-nil when built by SuperSymbolic.Factorize
 	lp       []int          // column pointers (shared with sym.colPtr)
 	li       []int          // row indices
-	lx       []float64
-	pool     sync.Pool // *[]float64 scratch, len n
-	spPool   sync.Pool // *spScratch for sparse-RHS solves
-	mrhsPool sync.Pool // *[]float64 interleaved multi-RHS workspace
+	lx       []float64      // flat values; nil for out-of-core factors
+	segs     [][]float64    // per-panel values (out-of-core); nil entry = spilled
+	spill    *spillStore    // nil unless some panel is on disk
+	pool     sync.Pool      // *[]float64 scratch, len n
+	spPool   sync.Pool      // *spScratch for sparse-RHS solves
+	mrhsPool sync.Pool      // *[]float64 interleaved multi-RHS workspace
+
+	spillStats SpillStats
 }
 
 // newFactor builds the empty factor shell against this symbolic analysis.
 // li may be a shared, already-built row-index array (the supernodal path);
-// nil allocates one for the scalar factorization to fill.
-func (sym *CholSymbolic) newFactor(li []int) *SparseCholesky {
+// nil allocates one for the scalar factorization to fill. values=false skips
+// the flat value array — the out-of-core path stores values per panel.
+func (sym *CholSymbolic) newFactor(li []int, values bool) *SparseCholesky {
 	n := sym.n
 	if li == nil {
 		li = make([]int, sym.LNNZ())
@@ -280,7 +290,9 @@ func (sym *CholSymbolic) newFactor(li []int) *SparseCholesky {
 		sym: sym,
 		lp:  sym.colPtr,
 		li:  li,
-		lx:  make([]float64, sym.LNNZ()),
+	}
+	if values {
+		ch.lx = make([]float64, sym.LNNZ())
 	}
 	ch.pool.New = func() any {
 		b := make([]float64, n)
@@ -336,7 +348,37 @@ func NewSparseCholeskyOrdered(s *Sparse, ord Ordering) (*SparseCholesky, error) 
 func (c *SparseCholesky) N() int { return c.sym.n }
 
 // NNZ returns the non-zero count of the factor L (including the diagonal).
-func (c *SparseCholesky) NNZ() int { return len(c.lx) }
+func (c *SparseCholesky) NNZ() int { return c.sym.LNNZ() }
+
+// SpillStats reports what the out-of-core factorization did; the zero value
+// for fully in-core factors.
+func (c *SparseCholesky) SpillStats() SpillStats { return c.spillStats }
+
+// Close releases the spill file backing an out-of-core factor. It is
+// idempotent, a no-op for in-core factors, and must not race in-flight
+// solves. A finalizer covers factors dropped without Close (e.g. LRU-evicted
+// server systems), but calling Close is the prompt path.
+func (c *SparseCholesky) Close() error {
+	if c.spill == nil {
+		return nil
+	}
+	return c.spill.close()
+}
+
+// panelVals returns panel sn's value segment and the global position of its
+// first entry, streaming a spilled segment into *buf (cap ≥ the largest
+// segment) when the panel is not resident.
+func (c *SparseCholesky) panelVals(sn int, buf *[]float64) ([]float64, int, error) {
+	off := c.panels.pbase[sn]
+	if seg := c.segs[sn]; seg != nil {
+		return seg, off, nil
+	}
+	dst := (*buf)[:c.panels.pbase[sn+1]-off]
+	if err := c.spill.readPanel(sn, dst); err != nil {
+		return nil, 0, err
+	}
+	return dst, off, nil
+}
 
 // Symbolic returns the symbolic analysis the factor was built against.
 func (c *SparseCholesky) Symbolic() *CholSymbolic { return c.sym }
@@ -366,7 +408,10 @@ func (c *SparseCholesky) SolveInto(dst, b []float64) error {
 	for k := 0; k < n; k++ {
 		w[k] = b[perm[k]]
 	}
-	c.applyFactor(w, 1)
+	if err := c.applyFactor(w, 1); err != nil {
+		c.pool.Put(wp)
+		return err
+	}
 	for k := 0; k < n; k++ {
 		dst[perm[k]] = w[k]
 	}
@@ -380,10 +425,11 @@ func (c *SparseCholesky) SolveInto(dst, b []float64) error {
 // dense block triangles plus packed below-row updates — while scalar factors
 // use the per-column loops; both apply every per-entry operation in the same
 // order, so the two paths (and batched vs single solves) are bit-identical.
-func (c *SparseCholesky) applyFactor(w []float64, k int) {
+// The error return is the out-of-core streaming path's; in-core factors never
+// fail.
+func (c *SparseCholesky) applyFactor(w []float64, k int) error {
 	if c.panels != nil {
-		c.panels.apply(c, w, k)
-		return
+		return c.panels.apply(c, w, k)
 	}
 	n := c.sym.n
 	if k == 1 {
@@ -403,7 +449,7 @@ func (c *SparseCholesky) applyFactor(w []float64, k int) {
 			}
 			w[j] = s / c.lx[c.lp[j]]
 		}
-		return
+		return nil
 	}
 	for j := 0; j < n; j++ {
 		base := j * k
@@ -431,6 +477,7 @@ func (c *SparseCholesky) applyFactor(w []float64, k int) {
 			w[base+r] /= d
 		}
 	}
+	return nil
 }
 
 // SolveSparseInto solves A·x = b for a *sparse* right-hand side: nz lists the
@@ -457,6 +504,12 @@ func (c *SparseCholesky) SolveSparseInto(dst, b []float64, nz []int) error {
 		if i < 0 || i >= n {
 			return fmt.Errorf("%w: SolveSparseInto nz index %d out of range [0,%d)", ErrShape, i, n)
 		}
+	}
+	// An out-of-core factor has no flat lx for the reach-pruned loops to
+	// walk; the dense-RHS path streams panels and is bit-identical (the
+	// skipped columns contribute exact zeros either way).
+	if c.segs != nil {
+		return c.SolveInto(dst, b)
 	}
 	sc := c.spPool.Get().(*spScratch)
 	w, mark := sc.w, sc.mark
@@ -553,7 +606,10 @@ func (c *SparseCholesky) SolveManyInto(dst, b [][]float64) error {
 			w[base+r] = b[r][pj]
 		}
 	}
-	c.applyFactor(w, k)
+	if err := c.applyFactor(w, k); err != nil {
+		c.mrhsPool.Put(wp)
+		return err
+	}
 	for j := 0; j < n; j++ {
 		pj, base := perm[j], j*k
 		for r := 0; r < k; r++ {

@@ -16,7 +16,10 @@ type SupernodalOptions struct {
 	// MaxPanel caps the column count of a panel. Wider panels amortize more
 	// of the factor's memory traffic per load but grow the dense workspace
 	// quadratically; 32 keeps a 512×512-grid separator panel's frontal
-	// workspace inside L2. 0 selects 32.
+	// workspace inside L2, but the measured serial sweet spot is 8 (the
+	// 256×256 sweep shows 8 beating 32 by ~17% on one core). 0 selects
+	// DefaultPanelWidth for the configured Workers; PanelWidthAuto (-1)
+	// micro-calibrates the width against the host at Supernodes time.
 	MaxPanel int
 
 	// RelaxZeros and RelaxRatio bound relaxed amalgamation: two adjacent
@@ -36,10 +39,13 @@ type SupernodalOptions struct {
 }
 
 // Canonical resolves defaulted fields. Workers is left as-is: it is resolved
-// at Factorize time against the live GOMAXPROCS.
+// at Factorize time against the live GOMAXPROCS. The PanelWidthAuto sentinel
+// is preserved, not resolved: Canonical runs inside content-address
+// derivation (oraclestore.DescForGrid), which must stay side-effect-free, so
+// the measurement happens in Supernodes instead.
 func (o SupernodalOptions) Canonical() SupernodalOptions {
-	if o.MaxPanel <= 0 {
-		o.MaxPanel = 32
+	if o.MaxPanel == 0 || (o.MaxPanel < 0 && o.MaxPanel != PanelWidthAuto) {
+		o.MaxPanel = DefaultPanelWidth(o.Workers)
 	}
 	if o.RelaxZeros == 0 {
 		o.RelaxZeros = 16
@@ -88,6 +94,11 @@ type SuperSymbolic struct {
 	// factor from this analysis.
 	li []int
 
+	// pbase[s] = colPtr[first[s]]: panel s's value segment is
+	// lx[pbase[s]:pbase[s+1]] — the contiguous unit the out-of-core path
+	// spills and streams.
+	pbase []int
+
 	// Column-oriented copy of tril(P·A·Pᵀ): column j's rows atr[atp[j]:atp[j+1]]
 	// ascending, atv mapping each slot into the source matrix's vals.
 	atp []int
@@ -112,6 +123,9 @@ type superScratch struct {
 // Supernodes builds the supernode partition for this symbolic analysis.
 func (sym *CholSymbolic) Supernodes(opts SupernodalOptions) *SuperSymbolic {
 	opts = opts.Canonical()
+	if opts.MaxPanel == PanelWidthAuto {
+		opts.MaxPanel = AutoPanelWidth()
+	}
 	n := sym.n
 	ss := &SuperSymbolic{sym: sym, opts: opts}
 
@@ -283,6 +297,10 @@ func (sym *CholSymbolic) Supernodes(opts SupernodalOptions) *SuperSymbolic {
 		}
 	}
 	ss.first[ns] = n
+	ss.pbase = make([]int, ns+1)
+	for s := 0; s <= ns; s++ {
+		ss.pbase[s] = sym.colPtr[ss.first[s]]
+	}
 	ss.rows = make([]int32, 0, nrows)
 	for s, g := range groups {
 		ss.rows = append(ss.rows, g.below...)
@@ -394,142 +412,18 @@ func (ss *SuperSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
 	if !ss.sym.samePattern(s) {
 		return nil, fmt.Errorf("%w: matrix pattern differs from the symbolic analysis", ErrShape)
 	}
-	ch := ss.sym.newFactor(ss.li)
+	ch := ss.sym.newFactor(ss.li, true)
 	ch.panels = ss
 	lp, li, lx := ch.lp, ch.li, ch.lx
 
+	// The in-core segment accessor: every panel lives in the single lx
+	// array at its global offsets.
+	incore := func(int) ([]float64, int, error) { return lx, 0, nil }
 	task := func(sn int) error {
-		f, l := ss.first[sn], ss.first[sn+1]
-		w := l - f
-		rowsB := ss.rows[ss.rptr[sn]:ss.rptr[sn+1]]
-		nr := w + len(rowsB)
 		sc := ss.pool.Get().(*superScratch)
-		W := sc.W[:nr*w]
-		local := sc.local
-		for t := 0; t < w; t++ {
-			local[f+t] = int32(t)
-		}
-		for t, r := range rowsB {
-			local[r] = int32(w + t)
-		}
-		// Seed the panel with A's columns (W is all-zero between tasks).
-		for c := 0; c < w; c++ {
-			j := f + c
-			Wc := W[c*nr : (c+1)*nr]
-			for p := ss.atp[j]; p < ss.atp[j+1]; p++ {
-				Wc[local[ss.atr[p]]] = s.vals[ss.atv[p]]
-			}
-		}
-		// Left-looking updates from finished descendant panels, ascending —
-		// so every target entry sees its subtraction terms in ascending
-		// source-column order, exactly the scalar schedule.
-		for _, d32 := range ss.ulist[ss.uptr[sn]:ss.uptr[sn+1]] {
-			d := int(d32)
-			df, dl := ss.first[d], ss.first[d+1]
-			rowsD := ss.rows[ss.rptr[d]:ss.rptr[d+1]]
-			q0 := sort.Search(len(rowsD), func(q int) bool { return int(rowsD[q]) >= f })
-			nq := len(rowsD) - q0
-			if nq == 0 {
-				continue
-			}
-			if ss.uniform[d] {
-				// Every column of d genuinely holds the shared row suffix,
-				// so entry positions are arithmetic: column i's below rows
-				// start at lp[i]+1+(dl-1-i). The source columns advance
-				// four at a time; per target entry the four subtractions
-				// stay separate, ordered operations.
-				tloc := sc.tloc[:nq]
-				for t := 0; t < nq; t++ {
-					tloc[t] = local[rowsD[q0+t]]
-				}
-				for t1 := 0; t1 < nq; t1++ {
-					j := int(rowsD[q0+t1])
-					if j >= l {
-						break
-					}
-					Wc := W[(j-f)*nr : (j-f+1)*nr]
-					i := df
-					for ; i+3 < dl; i += 4 {
-						b0 := lp[i] + 1 + (dl - 1 - i) + q0
-						b1 := lp[i+1] + 1 + (dl - 2 - i) + q0
-						b2 := lp[i+2] + 1 + (dl - 3 - i) + q0
-						b3 := lp[i+3] + 1 + (dl - 4 - i) + q0
-						v0 := lx[b0 : b0+nq]
-						v1 := lx[b1 : b1+nq]
-						v2 := lx[b2 : b2+nq]
-						v3 := lx[b3 : b3+nq]
-						l0, l1, l2, l3 := v0[t1], v1[t1], v2[t1], v3[t1]
-						for t2 := t1; t2 < nq; t2++ {
-							x := Wc[tloc[t2]]
-							x -= v0[t2] * l0
-							x -= v1[t2] * l1
-							x -= v2[t2] * l2
-							x -= v3[t2] * l3
-							Wc[tloc[t2]] = x
-						}
-					}
-					for ; i < dl; i++ {
-						b := lp[i] + 1 + (dl - 1 - i) + q0
-						v := lx[b : b+nq]
-						lj := v[t1]
-						for t2 := t1; t2 < nq; t2++ {
-							Wc[tloc[t2]] -= v[t2] * lj
-						}
-					}
-				}
-			} else {
-				// Non-uniform panel: walk its columns through the CSC
-				// factor directly. Same per-entry operation order.
-				for i := df; i < dl; i++ {
-					p0, pEnd := lp[i]+1, lp[i+1]
-					p1 := p0 + sort.Search(pEnd-p0, func(q int) bool { return li[p0+q] >= f })
-					for ; p1 < pEnd && li[p1] < l; p1++ {
-						Wc := W[(li[p1]-f)*nr : (li[p1]-f+1)*nr]
-						lji := lx[p1]
-						for p2 := p1; p2 < pEnd; p2++ {
-							Wc[local[li[p2]]] -= lx[p2] * lji
-						}
-					}
-				}
-			}
-		}
-		// Dense in-panel factorization: sqrt/scale column c, then
-		// right-looking updates into the columns to its right — per entry,
-		// the in-panel source columns arrive ascending, after all
-		// descendant columns, completing the scalar order.
-		for c := 0; c < w; c++ {
-			Wc := W[c*nr : (c+1)*nr]
-			d := Wc[c]
-			if d <= 0 || math.IsNaN(d) {
-				clear(W)
-				ss.pool.Put(sc)
-				return fmt.Errorf("%w: non-positive pivot %g at column %d", ErrNotSPD, d, f+c)
-			}
-			d = math.Sqrt(d)
-			Wc[c] = d
-			for t := c + 1; t < nr; t++ {
-				Wc[t] /= d
-			}
-			for c2 := c + 1; c2 < w; c2++ {
-				ljc := Wc[c2]
-				W2 := W[c2*nr : (c2+1)*nr]
-				for t := c2; t < nr; t++ {
-					W2[t] -= Wc[t] * ljc
-				}
-			}
-		}
-		// Scatter genuine entries back; padded slots (exact zeros — see the
-		// type comment) are skipped because li lists only genuine rows.
-		for c := 0; c < w; c++ {
-			j := f + c
-			Wc := W[c*nr:]
-			for p := lp[j]; p < lp[j+1]; p++ {
-				lx[p] = Wc[local[li[p]]]
-			}
-		}
-		clear(W)
+		err := ss.factorPanel(sn, s, lp, li, sc, incore)
 		ss.pool.Put(sc)
-		return nil
+		return err
 	}
 
 	workers := ss.opts.Workers
@@ -542,6 +436,159 @@ func (ss *SuperSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
 	return ch, nil
 }
 
+// factorPanel runs the left-looking numeric factorization of one panel
+// against the segment accessor seg, which returns a panel's value slice and
+// the global position of its first entry (so positions computed from lp index
+// as vals[pos-off]). The in-core path passes the whole lx with offset 0; the
+// out-of-core path serves resident or reloaded segments. A slice returned by
+// seg is only used until the next seg call, which is what lets the spill
+// controller evict behind the accessor. sc.W is all-zero on entry and on
+// every return.
+func (ss *SuperSymbolic) factorPanel(sn int, s *Sparse, lp, li []int, sc *superScratch, seg func(d int) ([]float64, int, error)) error {
+	f, l := ss.first[sn], ss.first[sn+1]
+	w := l - f
+	rowsB := ss.rows[ss.rptr[sn]:ss.rptr[sn+1]]
+	nr := w + len(rowsB)
+	W := sc.W[:nr*w]
+	local := sc.local
+	for t := 0; t < w; t++ {
+		local[f+t] = int32(t)
+	}
+	for t, r := range rowsB {
+		local[r] = int32(w + t)
+	}
+	// Seed the panel with A's columns (W is all-zero between tasks).
+	for c := 0; c < w; c++ {
+		j := f + c
+		Wc := W[c*nr : (c+1)*nr]
+		for p := ss.atp[j]; p < ss.atp[j+1]; p++ {
+			Wc[local[ss.atr[p]]] = s.vals[ss.atv[p]]
+		}
+	}
+	// Left-looking updates from finished descendant panels, ascending —
+	// so every target entry sees its subtraction terms in ascending
+	// source-column order, exactly the scalar schedule.
+	for _, d32 := range ss.ulist[ss.uptr[sn]:ss.uptr[sn+1]] {
+		d := int(d32)
+		df, dl := ss.first[d], ss.first[d+1]
+		rowsD := ss.rows[ss.rptr[d]:ss.rptr[d+1]]
+		q0 := sort.Search(len(rowsD), func(q int) bool { return int(rowsD[q]) >= f })
+		nq := len(rowsD) - q0
+		if nq == 0 {
+			continue
+		}
+		dx, doff, err := seg(d)
+		if err != nil {
+			clear(W)
+			return err
+		}
+		if ss.uniform[d] {
+			// Every column of d genuinely holds the shared row suffix,
+			// so entry positions are arithmetic: column i's below rows
+			// start at lp[i]+1+(dl-1-i). The source columns advance
+			// four at a time; per target entry the four subtractions
+			// stay separate, ordered operations.
+			tloc := sc.tloc[:nq]
+			for t := 0; t < nq; t++ {
+				tloc[t] = local[rowsD[q0+t]]
+			}
+			for t1 := 0; t1 < nq; t1++ {
+				j := int(rowsD[q0+t1])
+				if j >= l {
+					break
+				}
+				Wc := W[(j-f)*nr : (j-f+1)*nr]
+				i := df
+				for ; i+3 < dl; i += 4 {
+					b0 := lp[i] + 1 + (dl - 1 - i) + q0 - doff
+					b1 := lp[i+1] + 1 + (dl - 2 - i) + q0 - doff
+					b2 := lp[i+2] + 1 + (dl - 3 - i) + q0 - doff
+					b3 := lp[i+3] + 1 + (dl - 4 - i) + q0 - doff
+					v0 := dx[b0 : b0+nq]
+					v1 := dx[b1 : b1+nq]
+					v2 := dx[b2 : b2+nq]
+					v3 := dx[b3 : b3+nq]
+					l0, l1, l2, l3 := v0[t1], v1[t1], v2[t1], v3[t1]
+					for t2 := t1; t2 < nq; t2++ {
+						x := Wc[tloc[t2]]
+						x -= v0[t2] * l0
+						x -= v1[t2] * l1
+						x -= v2[t2] * l2
+						x -= v3[t2] * l3
+						Wc[tloc[t2]] = x
+					}
+				}
+				for ; i < dl; i++ {
+					b := lp[i] + 1 + (dl - 1 - i) + q0 - doff
+					v := dx[b : b+nq]
+					lj := v[t1]
+					for t2 := t1; t2 < nq; t2++ {
+						Wc[tloc[t2]] -= v[t2] * lj
+					}
+				}
+			}
+		} else {
+			// Non-uniform panel: walk its columns through the CSC
+			// factor directly. Same per-entry operation order.
+			for i := df; i < dl; i++ {
+				p0, pEnd := lp[i]+1, lp[i+1]
+				p1 := p0 + sort.Search(pEnd-p0, func(q int) bool { return li[p0+q] >= f })
+				for ; p1 < pEnd && li[p1] < l; p1++ {
+					Wc := W[(li[p1]-f)*nr : (li[p1]-f+1)*nr]
+					lji := dx[p1-doff]
+					for p2 := p1; p2 < pEnd; p2++ {
+						Wc[local[li[p2]]] -= dx[p2-doff] * lji
+					}
+				}
+			}
+		}
+	}
+	// Dense in-panel factorization: sqrt/scale column c, then
+	// right-looking updates into the columns to its right — per entry,
+	// the in-panel source columns arrive ascending, after all
+	// descendant columns, completing the scalar order.
+	for c := 0; c < w; c++ {
+		Wc := W[c*nr : (c+1)*nr]
+		d := Wc[c]
+		if d <= 0 || math.IsNaN(d) {
+			clear(W)
+			return fmt.Errorf("%w: non-positive pivot %g at column %d", ErrNotSPD, d, f+c)
+		}
+		d = math.Sqrt(d)
+		Wc[c] = d
+		for t := c + 1; t < nr; t++ {
+			Wc[t] /= d
+		}
+		for c2 := c + 1; c2 < w; c2++ {
+			ljc := Wc[c2]
+			W2 := W[c2*nr : (c2+1)*nr]
+			for t := c2; t < nr; t++ {
+				W2[t] -= Wc[t] * ljc
+			}
+		}
+	}
+	// Scatter genuine entries back; padded slots (exact zeros — see the
+	// type comment) are skipped because li lists only genuine rows. The
+	// target's segment is requested only now, after every descendant read:
+	// the out-of-core path allocates it on first touch, so the budget never
+	// holds an unfinished panel and the frontal scratch simultaneously with
+	// stale descendants.
+	tx, toff, err := seg(sn)
+	if err != nil {
+		clear(W)
+		return err
+	}
+	for c := 0; c < w; c++ {
+		j := f + c
+		Wc := W[c*nr:]
+		for p := lp[j]; p < lp[j+1]; p++ {
+			tx[p-toff] = Wc[local[li[p]]]
+		}
+	}
+	clear(W)
+	return nil
+}
+
 // apply runs the forward and backward triangular solves panel-at-a-time on
 // the interleaved k-RHS workspace w (entry j of RHS r at w[j*k+r]). Uniform
 // panels run dense: the block triangle needs no row indices at all, and the
@@ -551,8 +598,13 @@ func (ss *SuperSymbolic) Factorize(s *Sparse) (*SparseCholesky, error) {
 // per-entry operation order matches the per-column loops exactly (block terms
 // before below terms, source columns ascending), so results are bit-identical
 // to the scalar solve paths.
-func (ss *SuperSymbolic) apply(c *SparseCholesky, w []float64, k int) {
-	lp, li, lx := c.lp, c.li, c.lx
+//
+// Out-of-core factors stream each spilled panel's value segment into a pooled
+// buffer as the pass reaches it (so each pass touches one panel at a time and
+// the resident overhead per solve is one max-size segment); in-core factors
+// index the single lx array with offset 0, which the compiler folds away.
+func (ss *SuperSymbolic) apply(c *SparseCholesky, w []float64, k int) error {
+	lp, li := c.lp, c.li
 	sp := c.mrhsPool.Get().(*[]float64)
 	need := k + ss.maxRows*k
 	if cap(*sp) < need {
@@ -560,17 +612,35 @@ func (ss *SuperSymbolic) apply(c *SparseCholesky, w []float64, k int) {
 	}
 	scratch := (*sp)[:need]
 	buf, packed := scratch[:k], scratch[k:]
+	var segBuf *[]float64
+	if c.spill != nil {
+		segBuf = c.spill.pool.Get().(*[]float64)
+	}
+	release := func() {
+		if segBuf != nil {
+			c.spill.pool.Put(segBuf)
+		}
+		c.mrhsPool.Put(sp)
+	}
 	for sn := 0; sn < ss.ns; sn++ {
 		f, l := ss.first[sn], ss.first[sn+1]
+		lx, off := c.lx, 0
+		if c.segs != nil {
+			var err error
+			if lx, off, err = c.panelVals(sn, segBuf); err != nil {
+				release()
+				return err
+			}
+		}
 		if !ss.uniform[sn] {
 			for j := f; j < l; j++ {
-				base := j * k
-				d := lx[lp[j]]
+				base, pj := j*k, lp[j]-off
+				d := lx[pj]
 				for r := 0; r < k; r++ {
 					w[base+r] /= d
 				}
 				for p := lp[j] + 1; p < lp[j+1]; p++ {
-					ib, v := li[p]*k, lx[p]
+					ib, v := li[p]*k, lx[p-off]
 					for r := 0; r < k; r++ {
 						w[ib+r] -= v * w[base+r]
 					}
@@ -580,12 +650,12 @@ func (ss *SuperSymbolic) apply(c *SparseCholesky, w []float64, k int) {
 		}
 		rowsB := ss.rows[ss.rptr[sn]:ss.rptr[sn+1]]
 		for j := f; j < l; j++ {
-			base := j * k
-			d := lx[lp[j]]
+			base, pj := j*k, lp[j]-off
+			d := lx[pj]
 			for r := 0; r < k; r++ {
 				w[base+r] /= d
 			}
-			p := lp[j] + 1
+			p := pj + 1
 			for i := j + 1; i < l; i++ {
 				v := lx[p]
 				p++
@@ -599,7 +669,7 @@ func (ss *SuperSymbolic) apply(c *SparseCholesky, w []float64, k int) {
 			rb := int(row) * k
 			copy(buf, w[rb:rb+k])
 			for j := f; j < l; j++ {
-				v := lx[lp[j]+1+(l-1-j)+t]
+				v := lx[lp[j]+1+(l-1-j)+t-off]
 				yb := j * k
 				for r := 0; r < k; r++ {
 					buf[r] -= v * w[yb+r]
@@ -610,16 +680,24 @@ func (ss *SuperSymbolic) apply(c *SparseCholesky, w []float64, k int) {
 	}
 	for sn := ss.ns - 1; sn >= 0; sn-- {
 		f, l := ss.first[sn], ss.first[sn+1]
+		lx, off := c.lx, 0
+		if c.segs != nil {
+			var err error
+			if lx, off, err = c.panelVals(sn, segBuf); err != nil {
+				release()
+				return err
+			}
+		}
 		if !ss.uniform[sn] {
 			for j := l - 1; j >= f; j-- {
-				base := j * k
+				base, pj := j*k, lp[j]-off
 				for p := lp[j] + 1; p < lp[j+1]; p++ {
-					ib, v := li[p]*k, lx[p]
+					ib, v := li[p]*k, lx[p-off]
 					for r := 0; r < k; r++ {
 						w[base+r] -= v * w[ib+r]
 					}
 				}
-				d := lx[lp[j]]
+				d := lx[pj]
 				for r := 0; r < k; r++ {
 					w[base+r] /= d
 				}
@@ -633,8 +711,8 @@ func (ss *SuperSymbolic) apply(c *SparseCholesky, w []float64, k int) {
 			copy(pk[t*k:t*k+k], w[int(row)*k:int(row)*k+k])
 		}
 		for j := l - 1; j >= f; j-- {
-			base := j * k
-			p := lp[j] + 1
+			base, pj := j*k, lp[j]-off
+			p := pj + 1
 			for i := j + 1; i < l; i++ {
 				v := lx[p]
 				p++
@@ -643,7 +721,7 @@ func (ss *SuperSymbolic) apply(c *SparseCholesky, w []float64, k int) {
 					w[base+r] -= v * w[ib+r]
 				}
 			}
-			bs := lp[j] + 1 + (l - 1 - j)
+			bs := pj + 1 + (l - 1 - j)
 			for t := 0; t < nb; t++ {
 				v := lx[bs+t]
 				tb := t * k
@@ -651,11 +729,12 @@ func (ss *SuperSymbolic) apply(c *SparseCholesky, w []float64, k int) {
 					w[base+r] -= v * pk[tb+r]
 				}
 			}
-			d := lx[lp[j]]
+			d := lx[pj]
 			for r := 0; r < k; r++ {
 				w[base+r] /= d
 			}
 		}
 	}
-	c.mrhsPool.Put(sp)
+	release()
+	return nil
 }

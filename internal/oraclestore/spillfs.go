@@ -1,0 +1,33 @@
+package oraclestore
+
+import (
+	"os"
+
+	"repro/internal/linalg"
+)
+
+// spillFS adapts the store's injectable FS seam to the factorization layer's
+// linalg.SpillFS, so out-of-core panel spilling runs through the same
+// filesystem (and the same fault-injection hooks) as the record files.
+// oraclestore.File structurally satisfies linalg.SpillFile; only CreateTemp's
+// return type needs the shim.
+type spillFS struct{ fs FS }
+
+// AsSpillFS wraps fs for linalg's out-of-core factorization. A nil fs selects
+// the real filesystem.
+func AsSpillFS(fs FS) linalg.SpillFS {
+	if fs == nil {
+		return linalg.OSSpillFS()
+	}
+	return spillFS{fs}
+}
+
+func (s spillFS) MkdirAll(path string, perm os.FileMode) error { return s.fs.MkdirAll(path, perm) }
+func (s spillFS) Remove(name string) error                     { return s.fs.Remove(name) }
+func (s spillFS) CreateTemp(dir, pattern string) (linalg.SpillFile, error) {
+	f, err := s.fs.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

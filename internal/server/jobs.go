@@ -66,7 +66,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request body: %v", err))
 		return
 	}
-	if _, code, err := resolveProblem(req); err != nil {
+	if _, code, err := s.resolveProblem(req); err != nil {
 		writeError(w, http.StatusBadRequest, code, err.Error())
 		return
 	}
@@ -228,7 +228,7 @@ func (s *Server) runJob(j *jobs.Job) {
 		s.jobs.SetFailed(j, fmt.Sprintf("journaled request no longer decodes: %v", err))
 		return
 	}
-	p, _, err := resolveProblem(req)
+	p, _, err := s.resolveProblem(req)
 	if err != nil {
 		s.jobs.SetFailed(j, err.Error())
 		return

@@ -97,6 +97,10 @@ type systemFactor struct {
 	FactorSeconds float64
 	Panels        int
 	PeakBytes     int64
+	// Out-of-core factorization under a peak-bytes budget.
+	PeakResidentBytes int64
+	SpilledPanels     int
+	SpilledBytes      int64
 }
 
 // render emits the Prometheus text exposition.
@@ -260,6 +264,21 @@ func (m *metrics) render(tc tierCounters) string {
 		sb.WriteString("# TYPE thermserve_grid_factor_peak_bytes gauge\n")
 		for _, f := range tc.Factors {
 			fmt.Fprintf(&sb, "thermserve_grid_factor_peak_bytes{system=%q} %d\n", f.Key, f.PeakBytes)
+		}
+		sb.WriteString("# HELP thermserve_grid_factor_peak_resident_bytes Peak resident factorization memory under the peak-bytes budget (equals peak bytes when nothing spilled).\n")
+		sb.WriteString("# TYPE thermserve_grid_factor_peak_resident_bytes gauge\n")
+		for _, f := range tc.Factors {
+			fmt.Fprintf(&sb, "thermserve_grid_factor_peak_resident_bytes{system=%q} %d\n", f.Key, f.PeakResidentBytes)
+		}
+		sb.WriteString("# HELP thermserve_grid_factor_spilled_panels Factor panels spilled out of core while factoring a live grid system.\n")
+		sb.WriteString("# TYPE thermserve_grid_factor_spilled_panels gauge\n")
+		for _, f := range tc.Factors {
+			fmt.Fprintf(&sb, "thermserve_grid_factor_spilled_panels{system=%q} %d\n", f.Key, f.SpilledPanels)
+		}
+		sb.WriteString("# HELP thermserve_grid_factor_spilled_bytes Factor bytes spilled out of core while factoring a live grid system.\n")
+		sb.WriteString("# TYPE thermserve_grid_factor_spilled_bytes gauge\n")
+		for _, f := range tc.Factors {
+			fmt.Fprintf(&sb, "thermserve_grid_factor_spilled_bytes{system=%q} %d\n", f.Key, f.SpilledBytes)
 		}
 	}
 	return sb.String()

@@ -92,6 +92,12 @@ type Config struct {
 	// MaxJobs bounds concurrently tracked non-terminal async jobs; beyond it
 	// POST /v1/jobs sheds with 429. 0 → 1024.
 	MaxJobs int
+	// Grid tunes every grid-resolution system the server builds: solver
+	// knobs plus the memory discipline (PeakBytesBudget caps the resident
+	// factorization working set, SpillDir roots the out-of-core panel files,
+	// PanelAuto micro-calibrates the supernodal panel width). The zero value
+	// is the canonical default.
+	Grid thermal.GridOptions
 	// Logf receives one line per served request; nil disables logging.
 	Logf func(format string, args ...any)
 
@@ -361,11 +367,11 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 // per-core test lengths: oracle answers depend only on the physics, but the
 // schedule (and so the live environment's spec) also depends on how long
 // each core tests.
-func systemKeys(spec *testspec.Spec, cfg thermal.PackageConfig, gridRes int) (mapKey, oracleKey [32]byte, err error) {
+func systemKeys(spec *testspec.Spec, cfg thermal.PackageConfig, gridRes int, grid thermal.GridOptions) (mapKey, oracleKey [32]byte, err error) {
 	var desc oraclestore.SystemDesc
 	if gridRes > 0 {
 		desc = oraclestore.DescForGrid(spec.Floorplan(), cfg, spec.Profile(),
-			gridRes, gridRes, thermal.GridOptions{})
+			gridRes, gridRes, grid)
 	} else {
 		desc = oraclestore.DescForBlockModel(spec.Floorplan(), cfg, spec.Profile())
 	}
@@ -406,7 +412,7 @@ func (s *Server) system(mapKey, oracleKey [32]byte, spec *testspec.Spec, pkg the
 	}
 	e.bld = func() (*experiments.Env, error) {
 		return experiments.NewEnvWithOptions(spec, pkg,
-			experiments.EnvOptions{Store: s.store, GridRes: gridRes})
+			experiments.EnvOptions{Store: s.store, GridRes: gridRes, Grid: s.cfg.Grid})
 	}
 	s.systems[mapKey] = e
 	s.boundSystemsLocked()
@@ -525,7 +531,7 @@ type problem struct {
 
 // resolveProblem validates a decoded request into a problem; on failure the
 // returned code is the stable machine-readable error code (HTTP 400).
-func resolveProblem(req *ScheduleRequest) (*problem, string, error) {
+func (s *Server) resolveProblem(req *ScheduleRequest) (*problem, string, error) {
 	spec, err := req.resolveSpec()
 	if err != nil {
 		return nil, "bad_workload", err
@@ -538,7 +544,7 @@ func resolveProblem(req *ScheduleRequest) (*problem, string, error) {
 	if err := pkg.Validate(); err != nil {
 		return nil, "bad_package", err
 	}
-	mapKey, oracleKey, err := systemKeys(spec, pkg, req.GridRes)
+	mapKey, oracleKey, err := systemKeys(spec, pkg, req.GridRes, s.cfg.Grid)
 	if err != nil {
 		return nil, "bad_workload", err
 	}
@@ -645,7 +651,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_deadline", err.Error())
 		return
 	}
-	p, code, err := resolveProblem(&req)
+	p, code, err := s.resolveProblem(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, code, err.Error())
 		return
@@ -866,11 +872,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		if fs, ok := e.env.GridFactorStats(); ok {
 			tc.Factors = append(tc.Factors, systemFactor{
-				Key:           fmt.Sprintf("%x", e.oracleKey),
-				Kernel:        fs.Mode,
-				FactorSeconds: fs.FactorTime.Seconds(),
-				Panels:        fs.Panels,
-				PeakBytes:     fs.PeakFactorBytes,
+				Key:               fmt.Sprintf("%x", e.oracleKey),
+				Kernel:            fs.Mode,
+				FactorSeconds:     fs.FactorTime.Seconds(),
+				Panels:            fs.Panels,
+				PeakBytes:         fs.PeakFactorBytes,
+				PeakResidentBytes: fs.PeakResidentBytes,
+				SpilledPanels:     fs.SpilledPanels,
+				SpilledBytes:      fs.SpilledBytes,
 			})
 		}
 	}

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -45,6 +46,24 @@ type GridOptions struct {
 	// (SparseCholesky.PreferredBatchWidth). Results are bit-identical at any
 	// width; only throughput changes.
 	BatchWidth int
+	// PeakBytesBudget caps the resident bytes the direct backend may hold
+	// while factoring (indices + resident panel values + frontal scratch).
+	// When the in-core estimate exceeds it, the supernodal kernel factors
+	// out of core, spilling finished panels to SpillDir and streaming them
+	// back per solve — bit-identical to in-core. 0 disables the budget; a
+	// budget no out-of-core schedule can meet falls back to CG.
+	PeakBytesBudget int64
+	// SpillDir is where spilled panel files live ("" = the OS temp dir).
+	// Files are unlinked at creation where the platform allows, so crashes
+	// leak no disk.
+	SpillDir string
+	// SpillFS overrides the spill filesystem seam (nil = real filesystem);
+	// tests inject fault-raising wrappers through it.
+	SpillFS linalg.SpillFS
+	// PanelAuto micro-calibrates the supernodal panel width against the
+	// host at first factorization instead of using the static default.
+	// Ignored when Panel.MaxPanel is set explicitly.
+	PanelAuto bool
 }
 
 // Canonical resolves the option defaults (OrderAuto → nested dissection,
@@ -52,9 +71,12 @@ type GridOptions struct {
 // single source of truth for what a zero GridOptions means:
 // NewGridModelWithOptions builds from it, and the oracle store derives its
 // content-address from it. Only options that change solver round-off
-// (Ordering, FillBudget) version the content-address — Factor, Panel and
-// BatchWidth select bit-identical execution strategies, so cached results
-// remain valid across them by construction.
+// (Ordering, FillBudget) version the content-address — Factor, Panel,
+// BatchWidth and the peak-bytes/spill/auto-width knobs select bit-identical
+// execution strategies, so cached results remain valid across them by
+// construction. Canonical must stay side-effect-free (it runs inside
+// content-address derivation), so PanelAuto resolves to the PanelWidthAuto
+// sentinel here and the measurement happens at factorization time.
 func (o GridOptions) Canonical() GridOptions {
 	if o.Ordering == linalg.OrderAuto {
 		o.Ordering = linalg.OrderND
@@ -62,12 +84,18 @@ func (o GridOptions) Canonical() GridOptions {
 	if o.Factor == linalg.FactorAuto {
 		o.Factor = linalg.FactorSupernodal
 	}
+	if o.PanelAuto && o.Panel.MaxPanel == 0 {
+		o.Panel.MaxPanel = linalg.PanelWidthAuto
+	}
 	o.Panel = o.Panel.Canonical()
 	if o.BatchWidth < 0 {
 		o.BatchWidth = 0
 	}
 	if o.FillBudget == 0 {
 		o.FillBudget = DefaultGridFillBudget
+	}
+	if o.PeakBytesBudget < 0 {
+		o.PeakBytesBudget = 0
 	}
 	return o
 }
@@ -103,6 +131,9 @@ type GridModel struct {
 	factor     linalg.FactorMode // resolved kernel (never FactorAuto)
 	panelOpts  linalg.SupernodalOptions
 	fillBudget int
+	peakBudget int64 // resident-bytes bound; 0 = unbudgeted
+	spillDir   string
+	spillFS    linalg.SpillFS
 	batchWidth int // resolved multi-RHS chunk width
 	stats      GridFactorStats
 
@@ -155,6 +186,9 @@ func NewGridModelWithOptions(fp *floorplan.Floorplan, cfg PackageConfig, nx, ny 
 		factor:     opts.Factor,
 		panelOpts:  opts.Panel,
 		fillBudget: opts.FillBudget,
+		peakBudget: opts.PeakBytesBudget,
+		spillDir:   opts.SpillDir,
+		spillFS:    opts.SpillFS,
 		batchWidth: opts.BatchWidth,
 	}
 	g.mapBlocks()
@@ -206,32 +240,73 @@ func (g *GridModel) buildSolver() error {
 		var ch *linalg.SparseCholesky
 		if g.factor == linalg.FactorSupernodal {
 			ss := sym.Supernodes(g.panelOpts)
-			ch, err = ss.Factorize(g.sys)
-			if err == nil {
+			inCore := int64(sym.LNNZ())*16 + ss.WorkspaceBytes()
+			if g.peakBudget > 0 && inCore > g.peakBudget {
+				// The in-core working set exceeds the peak-bytes budget:
+				// factor out of core, spilling finished panels to disk.
+				ch, err = ss.FactorizeSpill(g.sys, linalg.SpillPolicy{
+					BudgetBytes: g.peakBudget,
+					Dir:         g.spillDir,
+					FS:          g.spillFS,
+				})
+				if err != nil && errors.Is(err, linalg.ErrSpill) {
+					// Spill I/O failed before the factor completed (the
+					// breaker covers write failures; this is e.g. an
+					// unreadable reload): availability over budget — retry
+					// fully in core.
+					ch, err = ss.Factorize(g.sys)
+					if err == nil {
+						g.stats.SpillDegraded = true
+					}
+				}
+				if errors.Is(err, linalg.ErrPeakBudget) {
+					// No out-of-core schedule fits (indices + scratch alone
+					// exceed the budget): fall through to the CG tier.
+					err = nil
+					ch = nil
+				}
+			} else {
+				ch, err = ss.Factorize(g.sys)
+			}
+			if err == nil && ch != nil {
+				st := ch.SpillStats()
 				g.stats.Panels = ss.Panels()
 				g.stats.MaxPanelWidth = ss.MaxPanelWidth()
 				g.stats.PaddedZeros = ss.PaddedZeros()
-				g.stats.PeakFactorBytes = int64(sym.LNNZ())*16 + ss.WorkspaceBytes()
+				g.stats.PeakFactorBytes = inCore
+				g.stats.PeakResidentBytes = inCore
+				if st.SpilledPanels > 0 || st.Degraded {
+					g.stats.PeakResidentBytes = st.PeakResidentBytes
+					g.stats.SpilledPanels = st.SpilledPanels
+					g.stats.SpilledBytes = st.SpilledBytes
+					g.stats.SpillDegraded = g.stats.SpillDegraded || st.Degraded
+				}
 			}
 		} else {
-			ch, err = sym.Factorize(g.sys)
-			if err == nil {
+			if g.peakBudget > 0 && int64(sym.LNNZ())*16 > g.peakBudget {
+				// The scalar kernel has no out-of-core mode; honor the
+				// budget by taking the CG tier instead.
+				ch = nil
+			} else if ch, err = sym.Factorize(g.sys); err == nil {
 				g.stats.PeakFactorBytes = int64(sym.LNNZ()) * 16
+				g.stats.PeakResidentBytes = g.stats.PeakFactorBytes
 			}
 		}
 		if err != nil {
 			return fmt.Errorf("%w: grid system not SPD: %v", ErrModel, err)
 		}
-		g.chol = ch
-		g.stats.Mode = g.factor.String()
-		g.stats.FactorNNZ = sym.LNNZ()
-		g.stats.FactorTime = time.Since(start)
-		// Resolve the multi-RHS chunk width once the factor's panel geometry
-		// is known (see PreferredBatchWidth for the cache reasoning).
-		if g.batchWidth <= 0 {
-			g.batchWidth = ch.PreferredBatchWidth()
+		if ch != nil {
+			g.chol = ch
+			g.stats.Mode = g.factor.String()
+			g.stats.FactorNNZ = sym.LNNZ()
+			g.stats.FactorTime = time.Since(start)
+			// Resolve the multi-RHS chunk width once the factor's panel geometry
+			// is known (see PreferredBatchWidth for the cache reasoning).
+			if g.batchWidth <= 0 {
+				g.batchWidth = ch.PreferredBatchWidth()
+			}
+			return nil
 		}
-		return nil
 	}
 	// Iterative fallback: IC(0) cannot break down on conductance matrices
 	// (M-matrices), but guard anyway and degrade to Jacobi.
@@ -291,8 +366,20 @@ type GridFactorStats struct {
 	MaxPanelWidth int
 	PaddedZeros   int64
 	// PeakFactorBytes is the resident factor (row indices + values) plus the
-	// per-worker frontal workspace the supernodal kernel holds transiently.
+	// per-worker frontal workspace the supernodal kernel holds transiently —
+	// what a fully in-core factorization costs.
 	PeakFactorBytes int64
+	// PeakResidentBytes is what the factorization actually held resident:
+	// equal to PeakFactorBytes in core, and at most the configured
+	// PeakBytesBudget when the out-of-core path spilled (unless degraded).
+	PeakResidentBytes int64
+	// SpilledPanels / SpilledBytes count the factor panels written to the
+	// spill file during an out-of-core factorization (zero in core).
+	SpilledPanels int
+	SpilledBytes  int64
+	// SpillDegraded reports that spill I/O failures forced the breaker: the
+	// factor completed fully in core with the budget waived.
+	SpillDegraded bool
 	// BatchWidth is the resolved SteadyStateBatch chunk width.
 	BatchWidth int
 }
@@ -307,6 +394,18 @@ func (g *GridModel) FactorStats() GridFactorStats {
 
 // FillBudget returns the factor-fill bound the direct backend was allowed.
 func (g *GridModel) FillBudget() int { return g.fillBudget }
+
+// Close releases resources the solver backend holds beyond the Go heap —
+// today the spill file of an out-of-core factor. It is idempotent, a no-op
+// for in-core backends, and must not race in-flight queries. Models dropped
+// without Close are covered by a finalizer, but long-lived servers that
+// evict systems should call it promptly.
+func (g *GridModel) Close() error {
+	if g.chol == nil {
+		return nil
+	}
+	return g.chol.Close()
+}
 
 // FactorNNZ returns the non-zero count of the cached Cholesky factor, or 0 on
 // the iterative fallback.
