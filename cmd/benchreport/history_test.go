@@ -51,3 +51,35 @@ func TestHistoryTable(t *testing.T) {
 		t.Error("non-tier-1 benchmark leaked into the history table")
 	}
 }
+
+// TestHistoryTableMetricMissingFromEarliest: a benchmark family absent from
+// the earliest report must anchor its Δ at the first report that *has* it —
+// not at the zero of the missing cell (which would render a bogus delta).
+func TestHistoryTableMetricMissingFromEarliest(t *testing.T) {
+	reps := []*Report{
+		{Benches: []BenchLine{
+			{Name: "BenchmarkFleetSweep", NsPerOp: 10e6},
+		}},
+		{Benches: []BenchLine{
+			{Name: "BenchmarkFleetSweep", NsPerOp: 10e6},
+			{Name: "BenchmarkJobSubmitWarm", NsPerOp: 4e6}, // first appearance
+		}},
+		{Benches: []BenchLine{
+			{Name: "BenchmarkFleetSweep", NsPerOp: 10e6},
+			{Name: "BenchmarkJobSubmitWarm", NsPerOp: 3e6},
+		}},
+	}
+	got := historyTable([]string{"BENCH_1", "BENCH_2", "BENCH_3"}, reps)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), got)
+	}
+	// Δ is 4ms → 3ms = -25%, anchored at BENCH_2, with an em-dash gap in
+	// BENCH_1's column.
+	if want := "| BenchmarkJobSubmitWarm | — | 4.0 ms | 3.0 ms | -25.0% |"; lines[3] != want {
+		t.Errorf("row = %q, want %q", lines[3], want)
+	}
+	if want := "| BenchmarkFleetSweep | 10.0 ms | 10.0 ms | 10.0 ms | +0.0% |"; lines[2] != want {
+		t.Errorf("row = %q, want %q", lines[2], want)
+	}
+}

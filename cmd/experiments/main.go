@@ -18,6 +18,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -28,24 +30,27 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/oraclestore"
+	"repro/internal/oraclestore/remote"
 	"repro/internal/testspec"
 	"repro/internal/thermal"
 )
 
 // options carries the flag values into run.
 type options struct {
-	parallel   bool
-	gridres    []int
-	orderings  []linalg.Ordering
-	factors    []linalg.FactorMode
-	panel      linalg.SupernodalOptions
-	fillBudget int
-	peakBytes  int64
-	spillDir   string
-	cacheDir   string
-	gridOracle int
-	fleetSize  int
-	fleetSeed  int64
+	parallel    bool
+	gridres     []int
+	orderings   []linalg.Ordering
+	factors     []linalg.FactorMode
+	panel       linalg.SupernodalOptions
+	fillBudget  int
+	peakBytes   int64
+	spillDir    string
+	cacheDir    string
+	gridOracle  int
+	fleetSize   int
+	fleetSeed   int64
+	storeNodes  []string
+	workerAddrs []string
 }
 
 // grid returns the solver options every grid model of this run is built with.
@@ -94,9 +99,18 @@ func main() {
 			"validate sessions on an NxN grid-resolution model instead of the block model (0 = block)")
 		fleetSize = flag.Int("fleet", 8,
 			"scenario count for -run fleet (builtins + seeded random-floorplan ladder)")
-		fleetSeed = flag.Int64("seed", 11, "base seed for the fleet's random scenarios")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		fleetSeed  = flag.Int64("seed", 11, "base seed for the fleet's random scenarios")
+		storeNodes = flag.String("storenodes", "",
+			"comma-separated thermstore node addresses; the -cachedir store shards reads and writes "+
+				"across them by content address (tier 3). A dead node degrades to local-only")
+		workers = flag.String("workers", "",
+			"comma-separated fleet-worker addresses for -run fleet; scenarios scatter across them "+
+				"and the merged table is byte-identical to the local run")
+		fleetWorker = flag.String("fleetworker", "",
+			"serve as a fleet worker on this listen address (e.g. :9191) instead of running experiments; "+
+				"combine with -cachedir and -storenodes so results accumulate in the shared cluster")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -126,6 +140,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	nodes := splitAddrs(*storeNodes)
+	if len(nodes) > 0 && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -storenodes requires -cachedir (the sharded tier backs a local store)")
+		os.Exit(1)
+	}
+	if *fleetWorker != "" {
+		if err := serveFleetWorker(*fleetWorker, *cacheDir, nodes); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// Profiles are finalized before any exit path below: a profile of a
 	// *failing* run is precisely when you want readable pprof output, so
 	// no os.Exit may come between StartCPUProfile and the stop.
@@ -145,18 +172,20 @@ func main() {
 	}
 
 	runErr := run(*which, options{
-		parallel:   *parallel,
-		gridres:    ladder,
-		orderings:  orderings,
-		factors:    factors,
-		panel:      panelOptions(width, *relax),
-		fillBudget: *fillBudget,
-		peakBytes:  peak,
-		spillDir:   *spillDir,
-		cacheDir:   *cacheDir,
-		gridOracle: *gridOracle,
-		fleetSize:  *fleetSize,
-		fleetSeed:  *fleetSeed,
+		parallel:    *parallel,
+		gridres:     ladder,
+		orderings:   orderings,
+		factors:     factors,
+		panel:       panelOptions(width, *relax),
+		fillBudget:  *fillBudget,
+		peakBytes:   peak,
+		spillDir:    *spillDir,
+		cacheDir:    *cacheDir,
+		gridOracle:  *gridOracle,
+		fleetSize:   *fleetSize,
+		fleetSeed:   *fleetSeed,
+		storeNodes:  nodes,
+		workerAddrs: splitAddrs(*workers),
 	})
 
 	if cpuFile != nil {
@@ -269,7 +298,7 @@ func run(which string, opts options) error {
 	var store *oraclestore.Store
 	if opts.cacheDir != "" {
 		var err error
-		store, err = oraclestore.Open(opts.cacheDir)
+		store, err = openStore(opts.cacheDir, opts.storeNodes)
 		if err != nil {
 			return err
 		}
@@ -421,7 +450,16 @@ func run(which string, opts options) error {
 			GridRes:   opts.gridOracle,
 			Grid:      opts.grid(),
 		}
-		res, err := fl.Run()
+		var res *experiments.FleetResult
+		if len(opts.workerAddrs) > 0 {
+			// Coordinator mode: scenarios scatter across worker processes;
+			// the local store (if any) stays untouched — each worker brings
+			// its own, ideally sharing one -storenodes cluster.
+			fl.Store = nil
+			res, err = fl.RunScattered(httpBases(opts.workerAddrs), nil)
+		} else {
+			res, err = fl.Run()
+		}
 		if err != nil {
 			return err
 		}
@@ -444,5 +482,76 @@ func run(which string, opts options) error {
 				env.StoreCache.Loaded(), sh, sm)
 		}
 	}
+	if store != nil && store.HasRemote() {
+		// Write-behind: ship what this run grew before the process exits, so
+		// the next run — on any machine of the cluster — warm-starts from it.
+		if _, err := store.PushRemote(); err != nil {
+			return err
+		}
+		rs := store.RemoteStats()
+		fmt.Printf("store cluster: %d fetch hits, %d misses, %d errors; %d records absorbed, %d files pushed (%d push errors)\n",
+			rs.FetchHits, rs.FetchMisses, rs.FetchErrors, rs.AbsorbedRecords, rs.PushedFiles, rs.PushErrors)
+	}
 	return nil
+}
+
+// splitAddrs parses a comma-separated address list, dropping blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// httpBases gives bare host:port addresses an http scheme, as URLs pass
+// through unchanged.
+func httpBases(addrs []string) []string {
+	out := make([]string, len(addrs))
+	for i, a := range addrs {
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		out[i] = strings.TrimRight(a, "/")
+	}
+	return out
+}
+
+// openStore opens the persistent oracle store, attaching the sharded remote
+// tier when node addresses were given.
+func openStore(dir string, nodes []string) (*oraclestore.Store, error) {
+	if len(nodes) == 0 {
+		return oraclestore.Open(dir)
+	}
+	client, err := remote.NewClient(nodes, remote.ClientOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return oraclestore.OpenWithOptions(dir, oraclestore.StoreOptions{Remote: client})
+}
+
+// serveFleetWorker runs this process as a fleet worker until killed: it
+// accepts scattered scenarios over HTTP and answers with their cell rows,
+// persisting every simulation to its store (and, with -storenodes, pushing
+// them to the shared cluster after each scenario).
+func serveFleetWorker(addr, cacheDir string, nodes []string) error {
+	fw := &experiments.FleetWorker{
+		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	}
+	if cacheDir != "" {
+		store, err := openStore(cacheDir, nodes)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		fw.Store = store
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: fleet worker listening on %s\n", ln.Addr())
+	return http.Serve(ln, fw.Handler())
 }

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +52,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		cacheDir    = flag.String("cachedir", "", "persistent oracle store directory (empty: in-memory tiers only)")
 		storeBudget = flag.String("store-budget", "", "store byte budget with optional K/M/G suffix, e.g. 256M; empty: unbounded")
+		storeNodes  = flag.String("storenodes", "", "comma-separated thermstore shard addresses (host:port,...) for the tier-3 cluster; requires -cachedir")
 		workers     = flag.Int("workers", 0, "max concurrent schedule generations (0: GOMAXPROCS)")
 		queueDepth  = flag.Int("queue-depth", 0, "max requests waiting for a worker before shedding with 429 (0: 1024, negative: unbounded)")
 		maxSystems  = flag.Int("max-systems", 0, "max live simulated systems in RAM, LRU-dropping idle ones (0: unbounded)")
@@ -81,9 +83,16 @@ func main() {
 	}
 	grid := thermal.GridOptions{PeakBytesBudget: peak, SpillDir: *spillDir}
 	grid.Panel.MaxPanel = panelWidth
+	var nodes []string
+	for _, a := range strings.Split(*storeNodes, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			nodes = append(nodes, a)
+		}
+	}
 	cfg := server.Config{
 		CacheDir:        *cacheDir,
 		StoreBudget:     budget,
+		StoreNodes:      nodes,
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		MaxSystems:      *maxSystems,

@@ -1,0 +1,65 @@
+// Command thermstore runs one shard of the distributed oracle store: an HTTP
+// node serving whole record files by content address.
+//
+// Usage:
+//
+//	thermstore -dir /var/lib/thermstore -addr :9090
+//
+// Protocol (see internal/oraclestore/remote):
+//
+//	GET  /records/{addr}  — the record file for that content address (its
+//	                        CRC-valid prefix), or 404 for an unknown key
+//	PUT  /records/{addr}  — merge the request body (a whole record file) into
+//	                        the node's copy, record-by-record; idempotent
+//	GET  /healthz         — liveness
+//
+// A cluster is just N of these plus clients configured with the same address
+// list: the client consistent-hashes each content address to its owning node,
+// so nodes never talk to each other and adding capacity means adding nodes to
+// every client's list. Clients treat a dead node as a cold shard — local
+// stores degrade to local-only for that key range, nothing errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/oraclestore/remote"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":9090", "listen address")
+		dir  = flag.String("dir", "", "record-file directory (required)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "thermstore: -dir is required")
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermstore:", err)
+		os.Exit(1)
+	}
+	if err := run(ln, *dir, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "thermstore:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves a node on ln until the listener closes — split from main so the
+// smoke test can drive a real node on an ephemeral port.
+func run(ln net.Listener, dir string, logf func(format string, args ...any)) error {
+	node, err := remote.NewNode(dir, logf)
+	if err != nil {
+		return err
+	}
+	logf("thermstore: serving %s on %s", dir, ln.Addr())
+	return http.Serve(ln, node.Handler())
+}

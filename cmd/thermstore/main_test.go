@@ -1,0 +1,40 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRunServesHealthz boots a real node on an ephemeral port through the
+// same run() main uses and checks it answers.
+func TestRunServesHealthz(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go run(ln, t.TempDir(), t.Logf)
+	defer ln.Close()
+
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+	// An unknown record is a clean 404, proving the records route is wired.
+	resp, err = c.Get("http://" + ln.Addr().String() + "/records/" + sixtyFourZeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown record = %d, want 404", resp.StatusCode)
+	}
+}
+
+const sixtyFourZeros = "0000000000000000000000000000000000000000000000000000000000000000"

@@ -180,27 +180,13 @@ func (f *Fleet) Run() (*FleetResult, error) {
 	if f.Parallel {
 		workers = f.Workers
 		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
+			workers = defaultFleetWorkers()
 		}
 	}
 	rows, err := conc.Sweep(workers, len(envs)*cells, func(i int) (Table1Row, error) {
 		si, ci := i/cells, i%cells
 		tl, stcl := tls[ci/len(stcls)], stcls[ci%len(stcls)]
-		res, err := envs[si].Generate(core.Config{TL: tl, STCL: stcl, AutoRaiseTL: true})
-		if err != nil {
-			return Table1Row{}, fmt.Errorf("experiments: fleet %q TL=%g STCL=%g: %w",
-				f.Scenarios[si].Name, tl, stcl, err)
-		}
-		return Table1Row{
-			TL:         tl,
-			STCL:       stcl,
-			Length:     res.Length,
-			Effort:     res.Effort,
-			MaxTemp:    res.MaxTemp,
-			Sessions:   res.Schedule.NumSessions(),
-			Violations: res.Violations,
-			Forced:     res.ForcedSingletons,
-		}, nil
+		return fleetCell(envs[si], f.Scenarios[si].Name, tl, stcl)
 	})
 	if err != nil {
 		return nil, err
@@ -222,6 +208,29 @@ func (f *Fleet) Run() (*FleetResult, error) {
 	}
 	return out, nil
 }
+
+// fleetCell generates one (scenario, TL, STCL) cell — the unit of fleet work,
+// shared by the local pool (Run) and the scattered workers (FleetWorker.Run)
+// so both produce identical rows by construction.
+func fleetCell(env *Env, name string, tl, stcl float64) (Table1Row, error) {
+	res, err := env.Generate(core.Config{TL: tl, STCL: stcl, AutoRaiseTL: true})
+	if err != nil {
+		return Table1Row{}, fmt.Errorf("experiments: fleet %q TL=%g STCL=%g: %w", name, tl, stcl, err)
+	}
+	return Table1Row{
+		TL:         tl,
+		STCL:       stcl,
+		Length:     res.Length,
+		Effort:     res.Effort,
+		MaxTemp:    res.MaxTemp,
+		Sessions:   res.Schedule.NumSessions(),
+		Violations: res.Violations,
+		Forced:     res.ForcedSingletons,
+	}, nil
+}
+
+// defaultFleetWorkers is the pool size when Parallel is set and Workers is 0.
+func defaultFleetWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Render formats one line per scenario. Every column is deterministic, so
 // serial and parallel fleets render byte-identically (asserted under -race

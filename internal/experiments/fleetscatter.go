@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/floorplan"
+	"repro/internal/oraclestore"
+	"repro/internal/power"
+	"repro/internal/testspec"
+	"repro/internal/thermal"
+)
+
+// This file lifts the fleet engine from one process to a coordinator plus
+// worker processes: the coordinator ships each scenario (whole problem
+// instance plus its (TL, STCL) cell grid) to a worker over HTTP, the worker
+// runs exactly the cell loop Fleet.Run runs locally, and the coordinator
+// merges responses in scenario order. Because every quantity on the wire is
+// bit-exact — the floorplan travels as floorplan.Format text (a %g round
+// trip) and the power vectors as raw float64 JSON (Go prints shortest
+// round-trip decimals) — a scattered sweep renders byte-identically to the
+// single-process run, which is what makes the distributed tier testable at
+// all: any divergence is a bug, not noise.
+
+// FleetWorkRequest is one scenario's complete, self-contained work order.
+type FleetWorkRequest struct {
+	// Scenario is the display name (also the rebuilt spec's name).
+	Scenario string `json:"scenario"`
+	// Floorplan is the layout as floorplan.Format text — the parse/format
+	// round trip is bit-exact, so coordinator and worker build identical
+	// thermal models.
+	Floorplan string `json:"floorplan"`
+	// Functional and TestPower are the per-block power vectors (W), and
+	// Lengths the per-core test times (s) — raw float64s, bit-exact in JSON.
+	Functional []float64 `json:"functional"`
+	TestPower  []float64 `json:"test_power"`
+	Lengths    []float64 `json:"lengths"`
+	// Package is the shared package stack (zero: defaults).
+	Package thermal.PackageConfig `json:"package"`
+	// TLs and STCLs are the cell grid (°C, s).
+	TLs   []float64 `json:"tls"`
+	STCLs []float64 `json:"stcls"`
+	// GridRes selects the grid-resolution oracle; Grid tunes its solver.
+	// Grid.SpillFS is an interface and must be zero on the wire.
+	GridRes int                 `json:"grid_res,omitempty"`
+	Grid    thermal.GridOptions `json:"grid,omitempty"`
+	// Parallel/Workers shape the worker's local cell pool.
+	Parallel bool `json:"parallel,omitempty"`
+	Workers  int  `json:"workers,omitempty"`
+}
+
+// FleetWorkResponse is one scenario's results, cell-index ordered.
+type FleetWorkResponse struct {
+	Cores int         `json:"cores"`
+	Rows  []Table1Row `json:"rows"`
+	// Tier counters, deltas over this request (see FleetScenarioResult).
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	StoreHits   int64 `json:"store_hits"`
+	StoreMisses int64 `json:"store_misses"`
+	// RemoteFetchHits reports how many of the worker's system opens were
+	// warmed by the sharded store tier during this request.
+	RemoteFetchHits int64 `json:"remote_fetch_hits,omitempty"`
+}
+
+// Spec rebuilds the problem instance the request describes.
+func (wr *FleetWorkRequest) Spec() (*testspec.Spec, error) {
+	fp, err := floorplan.ParseString(wr.Floorplan, wr.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scatter floorplan: %w", err)
+	}
+	profile, err := power.NewProfile(fp, wr.Functional, wr.TestPower)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scatter profile: %w", err)
+	}
+	spec, err := testspec.New(wr.Scenario, profile, wr.Lengths)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scatter spec: %w", err)
+	}
+	return spec, nil
+}
+
+// workRequest serialises scenario si of the fleet.
+func (f *Fleet) workRequest(si int, tls, stcls []float64, pkg thermal.PackageConfig) *FleetWorkRequest {
+	sc := f.Scenarios[si]
+	spec := sc.Spec
+	fp := spec.Floorplan()
+	n := fp.NumBlocks()
+	wr := &FleetWorkRequest{
+		Scenario:   sc.Name,
+		Floorplan:  floorplan.Format(fp),
+		Functional: make([]float64, n),
+		TestPower:  make([]float64, n),
+		Lengths:    make([]float64, n),
+		Package:    pkg,
+		TLs:        tls,
+		STCLs:      stcls,
+		GridRes:    f.GridRes,
+		Grid:       f.Grid,
+		Parallel:   f.Parallel,
+		Workers:    f.Workers,
+	}
+	wr.Grid.SpillFS = nil // interface: not serialisable, workers use their own disk
+	for i := 0; i < n; i++ {
+		wr.Functional[i] = spec.Profile().Functional(i)
+		wr.TestPower[i] = spec.Profile().Test(i)
+		wr.Lengths[i] = spec.Test(i).Length
+	}
+	return wr
+}
+
+// FleetWorker executes scattered scenarios against a local (optionally
+// remote-backed) store. Zero value: no store, block-model oracle as
+// requested.
+type FleetWorker struct {
+	// Store backs every scenario's oracle; when it has a remote tier the
+	// worker pushes its fresh records after each scenario, so the cluster
+	// accumulates every worker's answers.
+	Store *oraclestore.Store
+	// Logf, when set, receives one line per scenario served.
+	Logf func(format string, args ...any)
+}
+
+// Run executes one work order — the exact per-scenario slice of Fleet.Run.
+func (fw *FleetWorker) Run(wr *FleetWorkRequest) (*FleetWorkResponse, error) {
+	spec, err := wr.Spec()
+	if err != nil {
+		return nil, err
+	}
+	pkg := wr.Package
+	if pkg == (thermal.PackageConfig{}) {
+		pkg = thermal.DefaultPackageConfig()
+	}
+	if len(wr.TLs) == 0 || len(wr.STCLs) == 0 {
+		return nil, fmt.Errorf("experiments: scatter request has an empty cell grid")
+	}
+	var remoteBase int64
+	if fw.Store != nil {
+		remoteBase = fw.Store.RemoteStats().FetchHits
+	}
+	env, err := NewEnvWithOptions(spec, pkg, EnvOptions{Store: fw.Store, GridRes: wr.GridRes, Grid: wr.Grid})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scatter scenario %q: %w", wr.Scenario, err)
+	}
+	env.Parallel = wr.Parallel
+	var storeBase [2]int64
+	if env.StoreCache != nil {
+		storeBase[0], storeBase[1] = env.StoreCache.Stats()
+	}
+	workers := 1
+	if wr.Parallel {
+		workers = wr.Workers
+		if workers <= 0 {
+			workers = defaultFleetWorkers()
+		}
+	}
+	rows, err := conc.Sweep(workers, len(wr.TLs)*len(wr.STCLs), func(i int) (Table1Row, error) {
+		tl, stcl := wr.TLs[i/len(wr.STCLs)], wr.STCLs[i%len(wr.STCLs)]
+		return fleetCell(env, wr.Scenario, tl, stcl)
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := &FleetWorkResponse{Cores: spec.NumCores(), Rows: rows}
+	resp.Hits, resp.Misses = env.Oracle.Stats()
+	if env.StoreCache != nil {
+		h, m := env.StoreCache.Stats()
+		resp.StoreHits, resp.StoreMisses = h-storeBase[0], m-storeBase[1]
+	}
+	if fw.Store != nil {
+		// Write-behind: ship this scenario's fresh records to the cluster
+		// before replying, so the coordinator's warm guarantee holds as soon
+		// as the sweep returns. Push failures degrade (counted, retried on
+		// the next scenario) — a dead node must not fail the work order.
+		fw.Store.PushRemote()
+		resp.RemoteFetchHits = fw.Store.RemoteStats().FetchHits - remoteBase
+	}
+	if fw.Logf != nil {
+		fw.Logf("fleetworker: %s: %d cells, t1 %d/%d store %d/%d",
+			wr.Scenario, len(rows), resp.Hits, resp.Misses, resp.StoreHits, resp.StoreMisses)
+	}
+	return resp, nil
+}
+
+// Handler serves work orders over HTTP: POST /fleet/run with a
+// FleetWorkRequest body answers a FleetWorkResponse, plus GET /healthz.
+func (fw *FleetWorker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/run", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", "POST")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var wr FleetWorkRequest
+		if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
+			http.Error(w, "bad work request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := fw.Run(&wr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+// RunScattered executes the sweep across worker processes: scenario i goes to
+// worker i mod N (a fixed assignment, so reruns hit the same shards), all
+// requests fly concurrently, and responses merge in scenario order — the
+// render is byte-identical to Run's when the workers' stores answer
+// identically. hc may be nil (a 10-minute-timeout client; schedule generation
+// is minutes of CPU for large grids).
+func (f *Fleet) RunScattered(workerURLs []string, hc *http.Client) (*FleetResult, error) {
+	if len(f.Scenarios) == 0 {
+		return nil, fmt.Errorf("experiments: fleet has no scenarios")
+	}
+	if len(workerURLs) == 0 {
+		return nil, fmt.Errorf("experiments: no fleet workers given")
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Minute}
+	}
+	pkg := f.Package
+	if pkg == (thermal.PackageConfig{}) {
+		pkg = thermal.DefaultPackageConfig()
+	}
+	tls, stcls := f.TLs, f.STCLs
+	if tls == nil {
+		tls = FleetTLs
+	}
+	if stcls == nil {
+		stcls = FleetSTCLs
+	}
+	resps, err := conc.Sweep(len(workerURLs), len(f.Scenarios), func(si int) (*FleetWorkResponse, error) {
+		wr := f.workRequest(si, tls, stcls, pkg)
+		url := workerURLs[si%len(workerURLs)]
+		resp, err := postWork(hc, url, wr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fleet scenario %q on %s: %w", wr.Scenario, url, err)
+		}
+		if got, want := len(resp.Rows), len(tls)*len(stcls); got != want {
+			return nil, fmt.Errorf("experiments: fleet scenario %q on %s: %d rows, want %d", wr.Scenario, url, got, want)
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &FleetResult{TLs: tls, STCLs: stcls, GridRes: f.GridRes}
+	for i, sc := range f.Scenarios {
+		r := resps[i]
+		out.Scenarios = append(out.Scenarios, FleetScenarioResult{
+			Name: sc.Name, Cores: r.Cores, Rows: r.Rows,
+			Hits: r.Hits, Misses: r.Misses,
+			StoreHits: r.StoreHits, StoreMisses: r.StoreMisses,
+		})
+	}
+	return out, nil
+}
+
+// postWork round-trips one work order.
+func postWork(hc *http.Client, base string, wr *FleetWorkRequest) (*FleetWorkResponse, error) {
+	body, err := json.Marshal(wr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Post(base+"/fleet/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("worker status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var out FleetWorkResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -43,7 +43,9 @@ type BreakerPolicy struct {
 	Probe time.Duration
 }
 
-func (p BreakerPolicy) withDefaults() BreakerPolicy {
+// WithDefaults fills unset fields with the production defaults. Exported so
+// the remote tier's per-node breakers share the local store's policy.
+func (p BreakerPolicy) WithDefaults() BreakerPolicy {
 	if p.Failures <= 0 {
 		p.Failures = 3
 	}
@@ -70,7 +72,7 @@ type breaker struct {
 }
 
 func newBreaker(policy BreakerPolicy) *breaker {
-	return &breaker{policy: policy.withDefaults()}
+	return &breaker{policy: policy.WithDefaults()}
 }
 
 // Allow reports whether the caller may touch the disk. In the open state it

@@ -28,9 +28,12 @@ const (
 	OpSync
 	// OpTruncate is File.Truncate — torn-tail recovery.
 	OpTruncate
+	// OpChtimes is FS.Chtimes — timestamp restoration after a recovery
+	// rewrite.
+	OpChtimes
 )
 
-var faultOpNames = [...]string{"any", "open", "create", "rename", "remove", "append", "sync", "truncate"}
+var faultOpNames = [...]string{"any", "open", "create", "rename", "remove", "append", "sync", "truncate", "chtimes"}
 
 func (o FaultOp) String() string {
 	if int(o) < len(faultOpNames) {
@@ -220,6 +223,11 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 // Remove implements FS.
 func (f *FaultFS) Remove(name string) error {
 	return f.apply(OpRemove, func() error { return f.inner.Remove(name) })
+}
+
+// Chtimes implements FS.
+func (f *FaultFS) Chtimes(name string, atime, mtime time.Time) error {
+	return f.apply(OpChtimes, func() error { return f.inner.Chtimes(name, atime, mtime) })
 }
 
 // faultFile wraps a File, routing Write/Sync/Truncate through the fault

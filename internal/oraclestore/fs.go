@@ -3,6 +3,7 @@ package oraclestore
 import (
 	"io"
 	"os"
+	"time"
 )
 
 // FS is the filesystem seam every store disk operation goes through. The
@@ -28,6 +29,10 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	// Remove mirrors os.Remove — eviction's delete.
 	Remove(name string) error
+	// Chtimes mirrors os.Chtimes — timestamp restoration after recovery
+	// rewrites, so healing a torn tail does not refresh a cold file's LRU
+	// clock and promote it over genuinely warm ones.
+	Chtimes(name string, atime, mtime time.Time) error
 }
 
 // File is the per-handle half of FS: exactly the *os.File methods the record
@@ -53,6 +58,9 @@ func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(p
 func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
 func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
 
 func (osFS) CreateTemp(dir, pattern string) (File, error) {
 	f, err := os.CreateTemp(dir, pattern)

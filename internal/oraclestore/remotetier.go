@@ -1,0 +1,113 @@
+package oraclestore
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RemoteTier is the tier-3 seam: a shared remote record-file store (in
+// production, cmd/thermstore nodes behind the consistent-hashing client in
+// oraclestore/remote). The store reads through it when a system is opened and
+// writes behind via PushRemote; every failure degrades to local-only — a dead
+// remote never surfaces as a caller error, matching the PR 7 fault
+// discipline.
+type RemoteTier interface {
+	// Fetch returns the remote record file for key; ok=false when the
+	// remote has no file for it (not an error).
+	Fetch(key [32]byte) (data []byte, ok bool, err error)
+	// Push ships a whole local record file. The remote merges by record
+	// (union, existing-first), so pushing overlapping files is idempotent.
+	Push(key [32]byte, data []byte) error
+}
+
+// remoteCounters aggregates the remote tier's traffic for Health/metrics.
+type remoteCounters struct {
+	fetchHits   atomic.Int64 // remote had a file for the opened system
+	fetchMisses atomic.Int64 // remote had nothing (cold key)
+	fetchErrors atomic.Int64 // fetch failed or returned an invalid file
+	absorbed    atomic.Int64 // records absorbed into local caches
+	pushedFiles atomic.Int64 // whole files shipped by PushRemote
+	pushErrors  atomic.Int64 // pushes that failed (file stays dirty, retried)
+}
+
+// RemoteStats is the remote-tier traffic snapshot (tier-3 hit metrics).
+type RemoteStats struct {
+	FetchHits, FetchMisses, FetchErrors int64
+	AbsorbedRecords                     int64
+	PushedFiles, PushErrors             int64
+}
+
+// HasRemote reports whether a remote tier is attached.
+func (s *Store) HasRemote() bool { return s.remote != nil }
+
+// RemoteStats reports the remote tier's traffic counters; zero without one.
+func (s *Store) RemoteStats() RemoteStats {
+	return RemoteStats{
+		FetchHits:       s.rc.fetchHits.Load(),
+		FetchMisses:     s.rc.fetchMisses.Load(),
+		FetchErrors:     s.rc.fetchErrors.Load(),
+		AbsorbedRecords: s.rc.absorbed.Load(),
+		PushedFiles:     s.rc.pushedFiles.Load(),
+		PushErrors:      s.rc.pushErrors.Load(),
+	}
+}
+
+// absorbRemote reads a freshly opened system through the remote tier: fetch
+// the whole remote file, absorb the records this cache is missing (memoized
+// and re-persisted locally via the ordinary Put path). Every failure counts
+// and degrades — the cache simply stays as local disk left it.
+func (s *Store) absorbRemote(c *SystemCache) {
+	data, ok, err := s.remote.Fetch(c.key)
+	if err != nil {
+		s.rc.fetchErrors.Add(1)
+		return
+	}
+	if !ok {
+		s.rc.fetchMisses.Add(1)
+		return
+	}
+	added, err := c.AbsorbRecords(data)
+	s.rc.absorbed.Add(int64(added))
+	if err != nil {
+		s.rc.fetchErrors.Add(1)
+		return
+	}
+	s.rc.fetchHits.Add(1)
+}
+
+// PushRemote ships every locally grown record file to its remote node —
+// whole-file anti-entropy: the node unions by record, so overlapping pushes
+// dedup server-side. A file is dirty when it has grown since its last
+// successful push (first push ships the whole file, converging directories
+// that predate the cluster). Push failures degrade: they are counted, the
+// file stays dirty for the next call, and no error is returned. Only a
+// closed store errors. Returns how many files were shipped.
+func (s *Store) PushRemote() (pushed int, err error) {
+	if s.remote == nil {
+		return 0, nil
+	}
+	s.mu.Lock()
+	if s.systems == nil {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: store is closed", ErrStore)
+	}
+	caches := make([]*SystemCache, 0, len(s.systems))
+	for _, c := range s.systems {
+		caches = append(caches, c)
+	}
+	s.mu.Unlock()
+	for _, c := range caches {
+		data, size, ok := c.dirtyFileBytes()
+		if !ok {
+			continue
+		}
+		if err := s.remote.Push(c.key, data); err != nil {
+			s.rc.pushErrors.Add(1)
+			continue
+		}
+		c.setPushedSize(size)
+		s.rc.pushedFiles.Add(1)
+		pushed++
+	}
+	return pushed, nil
+}

@@ -227,11 +227,13 @@ type faultCounters struct {
 // probe (Store.Probe, or any append after the probe interval) half-opens the
 // breaker; one success closes it and persistence resumes.
 type Store struct {
-	dir   string
-	fs    FS
-	retry RetryPolicy
-	brk   *breaker
-	fc    faultCounters
+	dir    string
+	fs     FS
+	retry  RetryPolicy
+	brk    *breaker
+	fc     faultCounters
+	remote RemoteTier
+	rc     remoteCounters
 
 	mu      sync.Mutex
 	systems map[[32]byte]*SystemCache
@@ -259,6 +261,10 @@ type StoreOptions struct {
 	Retry RetryPolicy
 	// Breaker is the circuit-breaker policy (zero: 3 failures, 5s probe).
 	Breaker BreakerPolicy
+	// Remote attaches a tier-3 record-file store (see RemoteTier): opened
+	// systems read through it, PushRemote writes behind. Nil disables the
+	// remote tier.
+	Remote RemoteTier
 }
 
 // Open creates (if needed) and opens a store rooted at dir with default
@@ -284,6 +290,7 @@ func OpenWithOptions(dir string, opts StoreOptions) (*Store, error) {
 		fs:      fsys,
 		retry:   opts.Retry.withDefaults(),
 		brk:     newBreaker(opts.Breaker),
+		remote:  opts.Remote,
 		systems: make(map[[32]byte]*SystemCache),
 	}, nil
 }
@@ -327,6 +334,14 @@ func (s *Store) System(desc SystemDesc) (*SystemCache, error) {
 		}
 	} else {
 		c = newMemOnlyCache(path, key, numBlocks, s.cacheDeps())
+	}
+	if s.remote != nil {
+		// Read-through: pull the cluster's answers for this system before the
+		// first query. Runs under s.mu — the remote client's timeout and
+		// breaker bound how long a dead node can stall concurrent opens. A
+		// memory-only cache still absorbs (into RAM), so the remote tier keeps
+		// a process warm through a local-disk outage.
+		s.absorbRemote(c)
 	}
 	s.systems[key] = c
 	return c, nil

@@ -98,6 +98,9 @@ type SystemCache struct {
 	mem     map[string][]float64
 	evicted bool
 	memOnly bool
+	// pushedSize is the file size at the last successful remote push; the
+	// file is dirty (PushRemote ships it) while it has grown past this.
+	pushedSize int64
 
 	hits, misses atomic.Int64
 	appended     atomic.Int64
@@ -179,10 +182,29 @@ func (c *SystemCache) load() error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrStore, err)
 	}
+	// Recovery truncates and rewrites the file, which refreshes its mtime —
+	// and off Linux mtime is the *whole* LRU clock (atime_other.go), so a
+	// healed-but-cold file would jump ahead of genuinely warm ones. Capture
+	// the pre-heal stamp so every recovery path below can restore it;
+	// best-effort, like the rest of the eviction clock.
+	restoreTimes := func() {
+		mt := st.ModTime()
+		at := mt
+		if a, ok := atime(st); ok {
+			at = a
+		}
+		_ = c.deps.fs.Chtimes(c.path, at, mt)
+	}
 	if st.Size() < headerLen {
 		// New file (or one that died before the header landed): start over.
 		c.recovered += st.Size()
-		return c.reset()
+		if err := c.reset(); err != nil {
+			return err
+		}
+		if st.Size() > 0 {
+			restoreTimes()
+		}
+		return nil
 	}
 	r := bufio.NewReaderSize(io.NewSectionReader(c.f, 0, st.Size()), 1<<16)
 	var hdr [headerLen]byte
@@ -198,7 +220,11 @@ func (c *SystemCache) load() error {
 		// safe recovery is to discard it rather than answer for the wrong
 		// system.
 		c.recovered += st.Size()
-		return c.reset()
+		if err := c.reset(); err != nil {
+			return err
+		}
+		restoreTimes()
+		return nil
 	}
 
 	good := int64(headerLen)
@@ -213,6 +239,7 @@ func (c *SystemCache) load() error {
 				if err := c.f.Truncate(good); err != nil {
 					return fmt.Errorf("%w: truncating corrupt tail: %v", ErrStore, err)
 				}
+				restoreTimes()
 			}
 			break
 		}
@@ -438,11 +465,28 @@ func (c *SystemCache) Put(active []int, temps []float64) error {
 // memory-only for the rest of its life rather than appending records a
 // future load would discard.
 func (c *SystemCache) appendLocked(buf []byte) error {
+	// An append that ultimately fails may still have healed torn bytes
+	// (truncate + rewrite), refreshing mtime without persisting anything.
+	// Capture the pre-append stamp so that case restores the LRU clock — a
+	// *successful* append is a genuine use and keeps its fresh mtime.
+	var preM, preA time.Time
+	havePre := false
+	if st, err := c.f.Stat(); err == nil {
+		preM = st.ModTime()
+		preA = preM
+		if a, ok := atime(st); ok {
+			preA = a
+		}
+		havePre = true
+	}
 	retired, err := appendWithHeal(c.f, c.deps.retry, c.deps.countRetry, buf)
 	if retired {
 		c.f.Close()
 		c.f = nil
 		c.memOnly = true
+	}
+	if err != nil && havePre {
+		_ = c.deps.fs.Chtimes(c.path, preA, preM)
 	}
 	return err
 }
@@ -530,6 +574,36 @@ func (c *SystemCache) Evict() error {
 		return fmt.Errorf("%w: evicting %s: %v", ErrStore, c.path, err)
 	}
 	return nil
+}
+
+// dirtyFileBytes snapshots the record file for a remote push when it has
+// grown since the last successful push. Reading happens under the cache lock,
+// so no append can interleave; a memory-only or evicted cache has nothing a
+// remote could serve and reports clean.
+func (c *SystemCache) dirtyFileBytes() (data []byte, size int64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil || c.memOnly || c.evicted {
+		return nil, 0, false
+	}
+	st, err := c.f.Stat()
+	if err != nil || st.Size() <= c.pushedSize {
+		return nil, 0, false
+	}
+	buf := make([]byte, st.Size())
+	if _, err := c.f.ReadAt(buf, 0); err != nil {
+		return nil, 0, false
+	}
+	return buf, st.Size(), true
+}
+
+// setPushedSize records a successful remote push of the file at size bytes.
+func (c *SystemCache) setPushedSize(size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.pushedSize {
+		c.pushedSize = size
+	}
 }
 
 // Stats returns the store-tier (hits, misses) counters: hits answered from

@@ -157,8 +157,11 @@ func TestShedding429MatchesMetrics(t *testing.T) {
 		if code != "saturated" {
 			t.Errorf("shed error code = %q, want saturated", code)
 		}
-		if retryAfter == "" {
-			t.Error("shed response missing Retry-After header")
+		if retryAfter != "5" {
+			// The hint scales with queue occupancy; the queue is provably
+			// full here (the queued request is parked until release), so the
+			// helper must emit its fully-congested value.
+			t.Errorf("shed Retry-After = %q, want \"5\" (full queue)", retryAfter)
 		}
 	}
 

@@ -74,8 +74,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if maxJobs <= 0 {
 		maxJobs = defaultMaxJobs
 	}
-	if int(s.jobs.Counts().Active) >= maxJobs {
-		w.Header().Set("Retry-After", "1")
+	if active := int(s.jobs.Counts().Active); active >= maxJobs {
+		w.Header().Set("Retry-After", retryAfterHint(active, maxJobs))
 		writeError(w, http.StatusTooManyRequests, "jobs_saturated",
 			fmt.Sprintf("%d jobs already tracked; retry later", maxJobs))
 		return
@@ -175,9 +175,21 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	var after int64
 	if h := r.Header.Get("Last-Event-ID"); h != "" {
-		if v, err := strconv.ParseInt(h, 10, 64); err == nil {
-			after = v
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil {
+			// A malformed cursor silently replaying from 0 would hand a
+			// confused client every event again with no indication its header
+			// was ignored; refuse before committing to the SSE content type.
+			writeError(w, http.StatusBadRequest, "bad_cursor",
+				fmt.Sprintf("Last-Event-ID %q: want a decimal event id", h))
+			return
 		}
+		if v < 0 {
+			// Negative ids never exist; clamp to a full replay, which is what
+			// a client holding a nonsense-but-numeric cursor needs.
+			v = 0
+		}
+		after = v
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -292,6 +304,7 @@ func (s *Server) runJob(j *jobs.Job) {
 		genDur = time.Since(g0)
 	})
 	s.maybeEvict()
+	s.pushRemote()
 
 	if poolErr == nil && genErr == nil {
 		result := buildScheduleResult(req, p, res)

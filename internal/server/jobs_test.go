@@ -495,3 +495,112 @@ func newHTTPServer(t *testing.T, srv *Server) *httpServer {
 	hs := httptest.NewServer(srv.Handler())
 	return &httpServer{base: hs.URL, close: hs.Close}
 }
+
+// TestJobsShedRetryAfter: when the tracked-job bound is hit, the 429 carries
+// the same queue-depth-scaled Retry-After hint as the synchronous endpoint —
+// with the table full, the hint is the 5-second ceiling of a full queue.
+func TestJobsShedRetryAfter(t *testing.T) {
+	srv, hs := newTestServer(t, Config{CacheDir: t.TempDir(), Workers: 1, MaxJobs: 1})
+	release := occupyWorkers(t, srv)
+	defer release()
+
+	id := postJob(t, hs.URL, table1Request())
+
+	raw, _ := json.Marshal(table1Request())
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e ErrorResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if decodeErr != nil || resp.StatusCode != http.StatusTooManyRequests || e.Error.Code != "jobs_saturated" {
+		t.Fatalf("second submit: status %d code %q (%v)", resp.StatusCode, e.Error.Code, decodeErr)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Errorf("jobs shed Retry-After = %q, want \"5\" (job table full)", got)
+	}
+
+	release()
+	if st := awaitJob(t, hs.URL, id); st.State != "done" {
+		t.Fatalf("first job ended %q, want done", st.State)
+	}
+}
+
+// TestJobEventsBadCursor: a malformed Last-Event-ID is a client error, not a
+// silent full replay — the handler must answer 400 bad_cursor before any SSE
+// headers go out.
+func TestJobEventsBadCursor(t *testing.T) {
+	_, hs := newTestServer(t, Config{CacheDir: t.TempDir()})
+	id := postJob(t, hs.URL, table1Request())
+	awaitJob(t, hs.URL, id)
+
+	req, err := http.NewRequest(http.MethodGet, hs.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "bogus")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e ErrorResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if decodeErr != nil || resp.StatusCode != http.StatusBadRequest || e.Error.Code != "bad_cursor" {
+		t.Fatalf("bogus cursor: status %d code %q (%v)", resp.StatusCode, e.Error.Code, decodeErr)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("bad cursor reply Content-Type = %q, want JSON error, not an SSE stream", ct)
+	}
+}
+
+// TestJobEventsNegativeCursorClamps: a negative Last-Event-ID is clamped to
+// zero, yielding the same full replay as a fresh subscription.
+func TestJobEventsNegativeCursorClamps(t *testing.T) {
+	_, hs := newTestServer(t, Config{CacheDir: t.TempDir()})
+	id := postJob(t, hs.URL, table1Request())
+	awaitJob(t, hs.URL, id)
+
+	collect := func(lastEventID string) []sseEvent {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, hs.URL+"/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("SSE with cursor %q: status %d: %s", lastEventID, resp.StatusCode, data)
+		}
+		stream := &sseStream{resp: resp, br: bufio.NewReader(resp.Body)}
+		defer stream.Close()
+		var events []sseEvent
+		for {
+			ev, err := stream.Next()
+			if err == io.EOF {
+				return events
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, ev)
+		}
+	}
+
+	fresh := collect("")
+	clamped := collect("-3")
+	if len(fresh) == 0 || len(clamped) != len(fresh) {
+		t.Fatalf("negative cursor replayed %d events, fresh stream %d", len(clamped), len(fresh))
+	}
+	if clamped[0].ID != 1 || clamped[0].ID != fresh[0].ID {
+		t.Errorf("negative cursor first event id = %d, want full replay from 1", clamped[0].ID)
+	}
+}

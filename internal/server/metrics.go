@@ -79,6 +79,8 @@ type tierCounters struct {
 	SystemsDropped     int64
 	QueueDepth         int
 	QueueLimit         int // -1 = unbounded
+	// Remote is the tier-3 store cluster's traffic, nil without one.
+	Remote *oraclestore.RemoteStats
 	// Breaker is the store's fault-layer health, nil without a store.
 	Breaker *oraclestore.StoreHealth
 	// Jobs / JobJournal are the async-job subsystem's counters.
@@ -148,18 +150,27 @@ func (m *metrics) render(tc tierCounters) string {
 		}
 		return float64(h) / float64(h+miss)
 	}
-	sb.WriteString("# HELP thermserve_tier_hits_total Oracle cache hits by tier (1 = in-memory memo, 2 = persistent store).\n")
+	sb.WriteString("# HELP thermserve_tier_hits_total Oracle cache hits by tier (1 = in-memory memo, 2 = persistent store, 3 = store cluster).\n")
 	sb.WriteString("# TYPE thermserve_tier_hits_total counter\n")
 	fmt.Fprintf(&sb, "thermserve_tier_hits_total{tier=\"1\"} %d\n", tc.Tier1Hits)
 	fmt.Fprintf(&sb, "thermserve_tier_hits_total{tier=\"2\"} %d\n", tc.Tier2Hits)
+	if tc.Remote != nil {
+		fmt.Fprintf(&sb, "thermserve_tier_hits_total{tier=\"3\"} %d\n", tc.Remote.FetchHits)
+	}
 	sb.WriteString("# HELP thermserve_tier_misses_total Oracle cache misses by tier.\n")
 	sb.WriteString("# TYPE thermserve_tier_misses_total counter\n")
 	fmt.Fprintf(&sb, "thermserve_tier_misses_total{tier=\"1\"} %d\n", tc.Tier1Misses)
 	fmt.Fprintf(&sb, "thermserve_tier_misses_total{tier=\"2\"} %d\n", tc.Tier2Misses)
+	if tc.Remote != nil {
+		fmt.Fprintf(&sb, "thermserve_tier_misses_total{tier=\"3\"} %d\n", tc.Remote.FetchMisses)
+	}
 	sb.WriteString("# HELP thermserve_tier_hit_rate Hit fraction by tier since start.\n")
 	sb.WriteString("# TYPE thermserve_tier_hit_rate gauge\n")
 	fmt.Fprintf(&sb, "thermserve_tier_hit_rate{tier=\"1\"} %g\n", hitRate(tc.Tier1Hits, tc.Tier1Misses))
 	fmt.Fprintf(&sb, "thermserve_tier_hit_rate{tier=\"2\"} %g\n", hitRate(tc.Tier2Hits, tc.Tier2Misses))
+	if tc.Remote != nil {
+		fmt.Fprintf(&sb, "thermserve_tier_hit_rate{tier=\"3\"} %g\n", hitRate(tc.Remote.FetchHits, tc.Remote.FetchMisses))
+	}
 
 	sb.WriteString("# HELP thermserve_systems_live Warm systems held in memory.\n")
 	sb.WriteString("# TYPE thermserve_systems_live gauge\n")
@@ -225,6 +236,21 @@ func (m *metrics) render(tc tierCounters) string {
 		sb.WriteString("# HELP thermserve_jobs_journal_unpersisted_total Job state transitions held in RAM only because the journal disk was failing.\n")
 		sb.WriteString("# TYPE thermserve_jobs_journal_unpersisted_total counter\n")
 		fmt.Fprintf(&sb, "thermserve_jobs_journal_unpersisted_total %d\n", js.Unpersisted)
+	}
+
+	if rs := tc.Remote; rs != nil {
+		sb.WriteString("# HELP thermserve_store_remote_fetch_errors_total Store-cluster fetches that failed or returned invalid files (served local-only instead).\n")
+		sb.WriteString("# TYPE thermserve_store_remote_fetch_errors_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_store_remote_fetch_errors_total %d\n", rs.FetchErrors)
+		sb.WriteString("# HELP thermserve_store_remote_absorbed_records_total Oracle records absorbed from the store cluster into local caches.\n")
+		sb.WriteString("# TYPE thermserve_store_remote_absorbed_records_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_store_remote_absorbed_records_total %d\n", rs.AbsorbedRecords)
+		sb.WriteString("# HELP thermserve_store_remote_pushed_files_total Record files shipped to the store cluster by the write-behind push.\n")
+		sb.WriteString("# TYPE thermserve_store_remote_pushed_files_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_store_remote_pushed_files_total %d\n", rs.PushedFiles)
+		sb.WriteString("# HELP thermserve_store_remote_push_errors_total Write-behind pushes that failed (files stay dirty and retry).\n")
+		sb.WriteString("# TYPE thermserve_store_remote_push_errors_total counter\n")
+		fmt.Fprintf(&sb, "thermserve_store_remote_push_errors_total %d\n", rs.PushErrors)
 	}
 
 	if h := tc.Breaker; h != nil {

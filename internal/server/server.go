@@ -51,6 +51,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/jobs"
 	"repro/internal/oraclestore"
+	"repro/internal/oraclestore/remote"
 	"repro/internal/schedule"
 	"repro/internal/testspec"
 	"repro/internal/thermal"
@@ -101,6 +102,15 @@ type Config struct {
 	// Logf receives one line per served request; nil disables logging.
 	Logf func(format string, args ...any)
 
+	// StoreNodes lists thermstore node addresses; the CacheDir store shards
+	// reads and writes across them by content address (tier 3): opened
+	// systems read through the cluster, and freshly simulated records are
+	// pushed behind each request. Requires CacheDir. A dead node degrades
+	// that key range to local-only — requests never error because of it.
+	StoreNodes []string
+	// StoreRemote injects a ready-made remote tier instead of dialing
+	// StoreNodes (tests use in-process nodes); it wins over StoreNodes.
+	StoreRemote oraclestore.RemoteTier
 	// StoreFS injects a filesystem seam under the persistent store (tests use
 	// an oraclestore.FaultFS); nil selects the real filesystem.
 	StoreFS oraclestore.FS
@@ -137,6 +147,10 @@ type Server struct {
 	// when nothing new has been persisted since, the post-request eviction
 	// skips its directory walk, keeping warm requests O(1).
 	evictSeen atomic.Int64
+
+	// pushSeen plays the same role for the write-behind push to the store
+	// cluster: warm requests append nothing, so they skip the push entirely.
+	pushSeen atomic.Int64
 
 	// Admission-control counters; shed must equal the number of 429s clients
 	// observed (asserted by the chaos tests).
@@ -184,11 +198,23 @@ func New(cfg Config) (*Server, error) {
 		met:     newMetrics(),
 		systems: make(map[[32]byte]*systemEntry),
 	}
+	if len(cfg.StoreNodes) > 0 && cfg.CacheDir == "" {
+		return nil, fmt.Errorf("server: StoreNodes requires CacheDir (the sharded tier backs a local store)")
+	}
 	if cfg.CacheDir != "" {
+		rt := cfg.StoreRemote
+		if rt == nil && len(cfg.StoreNodes) > 0 {
+			client, err := remote.NewClient(cfg.StoreNodes, remote.ClientOptions{Breaker: cfg.StoreBreaker})
+			if err != nil {
+				return nil, fmt.Errorf("server: store cluster: %w", err)
+			}
+			rt = client
+		}
 		store, err := oraclestore.OpenWithOptions(cfg.CacheDir, oraclestore.StoreOptions{
 			FS:      cfg.StoreFS,
 			Retry:   cfg.StoreRetry,
 			Breaker: cfg.StoreBreaker,
+			Remote:  rt,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: opening oracle store: %w", err)
@@ -497,6 +523,42 @@ func (s *Server) maybeEvict() {
 	}
 }
 
+// retryAfterHint computes the Retry-After value for a 429, scaling with how
+// congested the shed resource is: 1s when it is nearly empty up to 5s when
+// fully occupied, capped at 30s if occupancy somehow overshoots capacity.
+// Both shedding sites (the synchronous admission queue and the async job
+// table) go through here so clients see one consistent backoff policy.
+func retryAfterHint(occupied, capacity int) string {
+	if capacity <= 0 {
+		return "1"
+	}
+	secs := 1 + 4*occupied/capacity
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
+// pushRemote is the write-behind half of the tier-3 store cluster: after a
+// request that persisted something new, ship the grown record files to their
+// shards. Same growth gate as maybeEvict — fully warm requests cost one
+// atomic load — and the same degradation: push failures are counted in
+// RemoteStats, the files stay dirty for the next appending request, and the
+// client never sees an error.
+func (s *Server) pushRemote() {
+	if s.store == nil || !s.store.HasRemote() {
+		return
+	}
+	grown := s.store.AppendedBytes()
+	if grown == s.pushSeen.Load() {
+		return
+	}
+	s.pushSeen.Store(grown)
+	if _, err := s.store.PushRemote(); err != nil && s.cfg.Logf != nil {
+		s.cfg.Logf("store cluster push: %v", err)
+	}
+}
+
 // requestDeadline resolves a request's deadline: the X-Request-Deadline
 // header (a Go duration like "250ms", or a bare integer of milliseconds)
 // wins over the deadline_ms body field, which wins over the server default.
@@ -694,7 +756,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			// clients a backoff hint; the counter must match what clients
 			// observe (asserted by the chaos tests).
 			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterHint(s.pool.Queued(), s.pool.QueueDepth()))
 			writeError(w, http.StatusTooManyRequests, "saturated",
 				fmt.Sprintf("admission queue full (%d workers + %d queued); retry later",
 					s.pool.Workers(), s.pool.QueueDepth()))
@@ -711,6 +773,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.maybeEvict()
+	s.pushRemote()
 	if genErr != nil {
 		switch {
 		case errors.Is(genErr, context.DeadlineExceeded):
@@ -903,6 +966,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		h := s.store.Health()
 		tc.Breaker = &h
+		if s.store.HasRemote() {
+			rs := s.store.RemoteStats()
+			tc.Remote = &rs
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
